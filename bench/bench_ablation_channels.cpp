@@ -1,0 +1,36 @@
+// Ablation A5 — NVM channel count: the transaction cache turns every
+// committed transaction into NVM writes, so its headroom over Optimal is
+// coupled to NVM write bandwidth. This sweep shows where one channel
+// suffices (the paper's configuration) and how SP's latency-bound penalty
+// barely moves with bandwidth.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ntcsim;
+  sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
+
+  std::cout << "Ablation: NVM channel count (line-interleaved)\n\n";
+  for (WorkloadKind wl : {WorkloadKind::kSps, WorkloadKind::kRbtree}) {
+    Table t({"channels", "Optimal tx/kc", "TC", "TC/Opt", "SP", "SP/Opt"});
+    for (unsigned ch : {1u, 2u, 4u}) {
+      SystemConfig cfg = SystemConfig::experiment();
+      cfg.nvm.channels = ch;
+      const double opt =
+          sim::run_cell(Mechanism::kOptimal, wl, cfg, opts).tx_per_kilocycle;
+      const double tc =
+          sim::run_cell(Mechanism::kTc, wl, cfg, opts).tx_per_kilocycle;
+      const double sp =
+          sim::run_cell(Mechanism::kSp, wl, cfg, opts).tx_per_kilocycle;
+      t.add_row(std::to_string(ch),
+                {opt, tc, opt > 0 ? tc / opt : 0, sp, opt > 0 ? sp / opt : 0});
+    }
+    std::cout << to_string(wl) << ":\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A4 — Kiln commit-engine sensitivity: how the flush cost per
+// line moves Kiln between "almost TC" and "almost SP" (contextualizes the
+// baseline's Fig. 6/7 position).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "persist/kiln_unit.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+sim::Metrics run_kiln(WorkloadKind wl, const persist::KilnConfig& kc,
+                      double scale) {
+  // The KilnUnit currently takes its config at System construction from
+  // KilnConfig{} defaults, so this ablation builds the system by hand.
+  SystemConfig cfg = SystemConfig::experiment();
+  cfg.mechanism = Mechanism::kKiln;
+  workload::WorkloadParams p = workload::default_params(wl);
+  p.ops = static_cast<std::size_t>(static_cast<double>(p.ops) * scale);
+  if (p.ops == 0) p.ops = 1;
+
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  std::vector<workload::TraceBundle> b;
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    b.push_back(workload::generate_phased(p, c, heap, nullptr));
+  }
+  sim::System sys(cfg, sim::SystemOptions{}, kc);
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(b[c].setup));
+  }
+  sys.run();
+  sys.reset_stats();
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(b[c].measured));
+  }
+  sys.run();
+  return sys.metrics();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
+  const WorkloadKind wl = WorkloadKind::kRbtree;
+
+  SystemConfig base = SystemConfig::experiment();
+  const sim::Metrics opt =
+      sim::run_cell(Mechanism::kOptimal, wl, base, opts);
+
+  std::cout << "Ablation: Kiln commit cost (rbtree; Optimal = "
+            << Table::fmt(opt.tx_per_kilocycle, 3) << " tx/kcycle)\n\n";
+  Table t({"fixed cy", "cy/line", "tx/kcycle", "vs Optimal", "pload lat"});
+  for (const auto& [fixed, per_line] :
+       std::initializer_list<std::pair<unsigned, unsigned>>{
+           {10, 2}, {25, 5}, {40, 10}, {80, 20}, {160, 40}}) {
+    persist::KilnConfig kc;
+    kc.commit_fixed_cycles = fixed;
+    kc.cycles_per_line = per_line;
+    const sim::Metrics m = run_kiln(wl, kc, opts.scale);
+    t.add_row(std::to_string(fixed),
+              {static_cast<double>(per_line), m.tx_per_kilocycle,
+               m.tx_per_kilocycle / opt.tx_per_kilocycle, m.pload_latency});
+  }
+  t.print(std::cout);
+  return 0;
+}

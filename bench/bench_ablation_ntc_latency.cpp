@@ -1,0 +1,31 @@
+// Ablation A3 — NTC access-latency sensitivity (DESIGN.md §5). The NTC
+// sits off the execution path: its latency gates only the CPU-side CAM
+// port rate (one insert per access), so the paper's 0.5 ns STT-RAM point
+// has slack — performance degrades only once the port rate approaches the
+// store rate.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ntcsim;
+  sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
+
+  std::cout << "Ablation: TC performance vs transaction-cache latency\n\n";
+  for (WorkloadKind wl : {WorkloadKind::kHashtable, WorkloadKind::kSps}) {
+    Table t({"NTC latency", "tx/kcycle", "NTC stall frac"});
+    for (unsigned cycles : {1u, 2u, 4u, 10u, 20u, 40u}) {
+      SystemConfig cfg = SystemConfig::experiment();
+      cfg.ntc.latency_cycles = cycles;
+      const sim::Metrics m = sim::run_cell(Mechanism::kTc, wl, cfg, opts);
+      t.add_row(std::to_string(cycles * 0.5).substr(0, 4) + " ns",
+                {m.tx_per_kilocycle, m.ntc_stall_frac});
+    }
+    std::cout << to_string(wl) << ":\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

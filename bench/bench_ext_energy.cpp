@@ -1,0 +1,78 @@
+// Extension E1 (beyond the paper) — memory-system energy per transaction
+// for every mechanism: where the joules go when persistence moves from
+// software logging (SP) to the side path (TC) to the NV-LLC (Kiln).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/energy.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+struct Cell {
+  sim::Metrics metrics;
+  sim::EnergyBreakdown energy;
+};
+
+Cell run(Mechanism mech, WorkloadKind wl, double scale) {
+  SystemConfig cfg = SystemConfig::experiment();
+  cfg.mechanism = mech;
+  workload::WorkloadParams p = workload::default_params(wl);
+  p.ops = static_cast<std::size_t>(static_cast<double>(p.ops) * scale);
+  if (p.ops == 0) p.ops = 1;
+
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  std::vector<workload::TraceBundle> b;
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    b.push_back(workload::generate_phased(p, c, heap, nullptr));
+  }
+  sim::System sys(cfg);
+  for (CoreId c = 0; c < cfg.cores; ++c) sys.load_trace(c, std::move(b[c].setup));
+  sys.run();
+  sys.reset_stats();
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(b[c].measured));
+  }
+  sys.run();
+  Cell cell;
+  cell.metrics = sys.metrics();
+  cell.energy = sim::estimate_energy(sys.stats(), cfg.cores,
+                                     mech == Mechanism::kKiln,
+                                     cell.metrics.committed_txs);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
+  std::cout << "Extension: memory-system energy per transaction (nJ)\n"
+               "(not a paper figure — STT-RAM write energy is the lever)\n\n";
+  for (WorkloadKind wl : {WorkloadKind::kSps, WorkloadKind::kRbtree,
+                          WorkloadKind::kHashtable}) {
+    Table t({"mechanism", "nJ/tx", "vs Optimal", "caches nJ/tx", "NTC nJ/tx",
+             "NVM nJ/tx"});
+    double base = 0.0;
+    for (Mechanism mech : {Mechanism::kOptimal, Mechanism::kTc,
+                           Mechanism::kKiln, Mechanism::kSp}) {
+      const Cell c = run(mech, wl, opts.scale);
+      if (mech == Mechanism::kOptimal) base = c.energy.per_tx_nj;
+      const double txs = static_cast<double>(c.metrics.committed_txs);
+      t.add_row(std::string(to_string(mech)),
+                {c.energy.per_tx_nj,
+                 base > 0 ? c.energy.per_tx_nj / base : 0.0,
+                 (c.energy.l1_nj + c.energy.l2_nj + c.energy.llc_nj) / txs,
+                 c.energy.ntc_nj / txs, c.energy.nvm_nj / txs},
+                1);
+    }
+    std::cout << to_string(wl) << ":\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

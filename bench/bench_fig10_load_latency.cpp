@@ -1,0 +1,19 @@
+// Figure 10 — CPU persistent-load latency normalized to Optimal. Paper:
+// Kiln is the clear worst (commit flushes block cache and memory requests,
+// bursts of traffic); TC tracks Optimal.
+#include <iostream>
+
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ntcsim;
+  const sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  const SystemConfig cfg = SystemConfig::experiment();
+  const sim::Matrix matrix = sim::run_matrix(cfg, opts);
+  sim::print_figure(
+      std::cout, "Figure 10: Persistent load latency", matrix,
+      [](const sim::Metrics& m) { return m.pload_latency; },
+      "Mean persistent-load latency normalized to Optimal; lower is better.\n"
+      "Paper: Kiln worst by a wide margin; TC close to Optimal.");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 6 — normalized IPC of SP / TC / Kiln / Optimal over the five
+// workloads. Paper: SP ~= 0.477, TC ~= 0.985, Kiln ~= 0.878 of Optimal.
+//
+// Usage: bench_fig6_ipc [scale]   (scale < 1 shrinks the measured phase)
+#include <iostream>
+
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ntcsim;
+  const sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  const SystemConfig cfg = SystemConfig::experiment();
+  const sim::Matrix matrix = sim::run_matrix(cfg, opts);
+  sim::print_figure(
+      std::cout, "Figure 6: Performance improvements (IPC)", matrix,
+      [](const sim::Metrics& m) { return m.ipc; },
+      "IPC normalized to Optimal (no persistence support); higher is better.\n"
+      "Paper gmean targets: SP ~0.48, TC ~0.985, Kiln ~0.88.");
+  return 0;
+}

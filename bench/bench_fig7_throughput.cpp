@@ -1,0 +1,18 @@
+// Figure 7 — normalized transaction throughput (transactions per cycle).
+// Paper: SP ~= 0.306, TC ~= 0.985, Kiln ~= 0.878 of Optimal.
+#include <iostream>
+
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ntcsim;
+  const sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
+  const SystemConfig cfg = SystemConfig::experiment();
+  const sim::Matrix matrix = sim::run_matrix(cfg, opts);
+  sim::print_figure(
+      std::cout, "Figure 7: Performance improvements (Throughput)", matrix,
+      [](const sim::Metrics& m) { return m.tx_per_kilocycle; },
+      "Transactions/cycle normalized to Optimal; higher is better.\n"
+      "Paper gmean targets: SP ~0.31, TC ~0.985, Kiln ~0.88.");
+  return 0;
+}

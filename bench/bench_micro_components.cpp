@@ -1,0 +1,83 @@
+// Microbenchmark M2 — host-side throughput of the substrate models:
+// simulation cycles per second for the end-to-end system, workload trace
+// generation rates, and the functional-image hot paths.
+#include <benchmark/benchmark.h>
+
+#include "recovery/images.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto kind = static_cast<WorkloadKind>(state.range(0));
+  workload::WorkloadParams p = workload::default_params(kind);
+  p.setup_elems = 2000;
+  p.ops = 500;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    workload::SimHeap heap(AddressSpace{}, 1);
+    const core::Trace t = workload::generate(p, 0, heap, nullptr);
+    ops += t.size();
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceGeneration)
+    ->Arg(static_cast<int>(WorkloadKind::kSps))
+    ->Arg(static_cast<int>(WorkloadKind::kRbtree))
+    ->Arg(static_cast<int>(WorkloadKind::kBtree))
+    ->Arg(static_cast<int>(WorkloadKind::kHashtable))
+    ->Arg(static_cast<int>(WorkloadKind::kGraph));
+
+void BM_SimulatedCyclesPerSecond(benchmark::State& state) {
+  const auto mech = static_cast<Mechanism>(state.range(0));
+  SystemConfig cfg = SystemConfig::experiment();
+  cfg.cores = 1;
+  cfg.mechanism = mech;
+  workload::WorkloadParams p = workload::default_params(WorkloadKind::kSps);
+  p.setup_elems = 4000;
+  p.ops = 800;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    workload::SimHeap heap(cfg.address_space, 1);
+    sim::System sys(cfg);
+    sys.load_trace(0, workload::generate(p, 0, heap, nullptr));
+    sys.run();
+    cycles += sys.now();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_SimulatedCyclesPerSecond)
+    ->Arg(static_cast<int>(Mechanism::kOptimal))
+    ->Arg(static_cast<int>(Mechanism::kTc))
+    ->Arg(static_cast<int>(Mechanism::kSp))
+    ->Arg(static_cast<int>(Mechanism::kKiln))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WordImageStore(benchmark::State& state) {
+  recovery::WordImage img;
+  Addr a = 0;
+  for (auto _ : state) {
+    a += 8;
+    img.store(a & 0xFFFFF8, a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WordImageStore);
+
+void BM_WordImageWordsInLine(benchmark::State& state) {
+  recovery::WordImage img;
+  for (Addr a = 0; a < 1 << 16; a += 8) img.store(a, a);
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img.words_in_line((line += 64) & 0xFFC0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WordImageWordsInLine);
+
+}  // namespace

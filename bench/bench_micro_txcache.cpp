@@ -1,0 +1,104 @@
+// Microbenchmark M1 — host-side cost of the transaction-cache model's
+// structure operations (insert/merge, commit CAM match, probe, full
+// write-commit-drain cycle). These bound the simulator's own speed, not
+// simulated time.
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "mem/memory_system.hpp"
+#include "txcache/tx_cache.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+struct Fixture {
+  SystemConfig cfg = SystemConfig::paper();
+  EventQueue events;
+  StatSet stats;
+  mem::MemorySystem mem{cfg, events, stats};
+  txcache::TxCache ntc{"ntc0", 0, cfg.ntc, cfg.address_space, mem, stats};
+  Addr base = cfg.address_space.heap_base();
+};
+
+void BM_NtcInsertDistinctLines(benchmark::State& state) {
+  Fixture f;
+  Cycle now = 0;
+  TxId tx = 1;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Addr addr = f.base + (i % 32) * 64;
+    ++i;
+    if (!f.ntc.write(now, addr, i, tx)) {
+      f.ntc.commit(tx++);
+      for (int k = 0; k < 400; ++k) {
+        f.events.drain_until(now);
+        f.ntc.tick(now);
+        f.mem.tick(now);
+        ++now;
+      }
+      ++tx;  // keep core-register-style increasing ids
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NtcInsertDistinctLines);
+
+void BM_NtcCoalescingWrite(benchmark::State& state) {
+  Fixture f;
+  Cycle now = 0;
+  f.ntc.write(now, f.base, 0, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Addr addr = f.base + (i % 8) * 8;
+    ++i;
+    benchmark::DoNotOptimize(f.ntc.write(now, addr, i, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NtcCoalescingWrite);
+
+void BM_NtcProbe(benchmark::State& state) {
+  Fixture f;
+  for (unsigned i = 0; i < 32; ++i) f.ntc.write(0, f.base + i * 64, i, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ntc.probe(f.base + (i++ % 64) * 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NtcProbe);
+
+void BM_NtcCommitCamMatch(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture fresh;
+    for (unsigned i = 0; i < 32; ++i) fresh.ntc.write(0, fresh.base + i * 64, i, 1);
+    state.ResumeTiming();
+    fresh.ntc.commit(1);
+  }
+}
+BENCHMARK(BM_NtcCommitCamMatch);
+
+void BM_NtcFullDrainCycle(benchmark::State& state) {
+  // One complete write -> commit -> NVM drain -> ack round per iteration.
+  Fixture f;
+  Cycle now = 0;
+  TxId tx = 1;
+  for (auto _ : state) {
+    f.ntc.write(now, f.base, tx, tx);
+    f.ntc.commit(tx++);
+    while (!f.ntc.drained() || f.ntc.occupancy() > 0) {
+      f.events.drain_until(now);
+      f.ntc.tick(now);
+      f.mem.tick(now);
+      ++now;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NtcFullDrainCycle);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Crash-consistency demo: run the same hashtable workload under the
+// transaction cache and under native execution, pull the plug midway, run
+// recovery, and check transaction atomicity against the oracle journal —
+// the experiment behind Fig. 2 of the paper.
+//
+//   $ ./crash_recovery
+#include <cstdio>
+
+#include "recovery/recovery.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+void crash_demo(Mechanism mech) {
+  SystemConfig cfg = SystemConfig::tiny();  // tiny caches: evictions galore
+  cfg.mechanism = mech;
+
+  workload::WorkloadParams params =
+      workload::default_params(WorkloadKind::kHashtable);
+  params.setup_elems = 400;
+  params.ops = 300;
+
+  recovery::Journal journal(1);
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  sim::System sys(cfg);
+  sys.load_trace(0, workload::generate(params, 0, heap, &journal));
+
+  std::printf("--- %s ---\n", std::string(to_string(mech)).c_str());
+  std::size_t checks = 0, violations = 0;
+  while (!sys.run_for(5000)) {  // crash every 5000 cycles
+    const recovery::WordImage recovered = sys.crash_and_recover();
+    const auto report = recovery::check_atomicity(recovered, journal);
+    ++checks;
+    if (!report.consistent) {
+      ++violations;
+      if (violations == 1) {
+        std::printf("  cycle %9llu: ATOMICITY VIOLATION — %s\n",
+                    static_cast<unsigned long long>(sys.now()),
+                    report.violation.c_str());
+      }
+    } else if (checks % 8 == 1) {
+      std::printf("  cycle %9llu: consistent, %zu/%zu transactions durable\n",
+                  static_cast<unsigned long long>(sys.now()),
+                  report.durable_tx_prefix[0], journal.per_core(0).size());
+    }
+  }
+  std::printf("  => %zu crash points checked, %zu violations\n\n", checks,
+              violations);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Pulling the plug on a transactional hashtable at every 5000th cycle.\n"
+      "TC recovers from the nonvolatile transaction cache; Optimal has no\n"
+      "persistence support and corrupts in-flight transactions (Fig. 2a).\n\n");
+  crash_demo(Mechanism::kTc);
+  crash_demo(Mechanism::kOptimal);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Custom-workload example: a write-ahead-free persistent key-value store
+// built directly on the public trace API. Shows how a downstream user
+// models their own data structure: execute it on the host, emit the
+// simulated accesses through TraceEmitter, wrap operations in
+// transactions, and let the mechanism under test provide persistence.
+//
+//   $ ./kv_store
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "recovery/recovery.hpp"
+#include "sim/system.hpp"
+#include "workload/emitter.hpp"
+#include "workload/sim_heap.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+/// A persistent open-addressing (linear probing) hash table — a different
+/// layout than the chained table in the built-in suite.
+class OpenAddressingKv {
+ public:
+  OpenAddressingKv(workload::TraceEmitter& em, workload::SimHeap& heap,
+                   std::size_t slots)
+      : em_(&em), slots_(slots), host_(slots) {
+    table_ = heap.alloc(0, slots_ * 16, kLineBytes);  // {key, value} pairs
+  }
+
+  void put(Word key, Word value) {
+    em_->begin_tx();
+    std::size_t i = slot_of(key);
+    for (;;) {
+      em_->load(slot_addr(i));  // probe the key word
+      em_->compute(1);
+      if (host_[i].first == 0 || host_[i].first == key) break;
+      i = (i + 1) % slots_;
+    }
+    em_->store(slot_addr(i), key);
+    em_->store(slot_addr(i) + 8, value);
+    host_[i] = {key, value};
+    em_->end_tx();
+  }
+
+  bool get(Word key) {
+    em_->begin_tx();
+    std::size_t i = slot_of(key);
+    bool found = false;
+    for (;;) {
+      em_->load(slot_addr(i));
+      em_->compute(1);
+      if (host_[i].first == key) {
+        em_->load(slot_addr(i) + 8);
+        found = true;
+        break;
+      }
+      if (host_[i].first == 0) break;
+      i = (i + 1) % slots_;
+    }
+    em_->end_tx();
+    return found;
+  }
+
+ private:
+  std::size_t slot_of(Word key) const {
+    return (key * 0x9e3779b97f4a7c15ULL >> 32) % slots_;
+  }
+  Addr slot_addr(std::size_t i) const { return table_ + i * 16; }
+
+  workload::TraceEmitter* em_;
+  Addr table_ = 0;
+  std::size_t slots_;
+  std::vector<std::pair<Word, Word>> host_;
+};
+
+}  // namespace
+
+int main() {
+  SystemConfig cfg = SystemConfig::experiment();
+  cfg.cores = 1;
+  cfg.mechanism = Mechanism::kTc;
+
+  recovery::Journal journal(1);
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  workload::TraceEmitter em(0, cfg.address_space, &journal);
+  OpenAddressingKv kv(em, heap, 8192);
+
+  Rng rng(42);
+  std::vector<Word> keys;
+  for (int i = 0; i < 2000; ++i) {
+    const Word k = rng.next() | 1;
+    kv.put(k, rng.next());
+    keys.push_back(k);
+  }
+  em.mark_measured_phase();
+  std::size_t hits = 0;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.chance(2, 3)) {
+      hits += kv.get(keys[rng.below(keys.size())]) ? 1 : 0;
+    } else {
+      kv.put(rng.next() | 1, rng.next());
+    }
+  }
+
+  workload::TraceEmitter em2 = std::move(em);
+  sim::System sys(cfg);
+  sys.load_trace(0, em2.take_setup());
+  sys.run();
+  sys.reset_stats();
+  sys.load_trace(0, em2.take_measured());
+  sys.run();
+
+  const sim::Metrics m = sys.metrics();
+  std::printf("open-addressing KV store under TC:\n");
+  std::printf("  measured cycles      %llu\n",
+              static_cast<unsigned long long>(m.cycles));
+  std::printf("  transactions/kcycle  %.3f\n", m.tx_per_kilocycle);
+  std::printf("  NVM line writes      %llu\n",
+              static_cast<unsigned long long>(m.nvm_writes));
+  std::printf("  lookup hits          %zu\n", hits);
+
+  // Everything committed is durable: recovery after a clean run replays to
+  // the full journal.
+  const auto report =
+      recovery::check_atomicity(sys.crash_and_recover(), journal);
+  std::printf("  recovery check       %s (%zu/%zu transactions durable)\n",
+              report.consistent ? "consistent" : "VIOLATED",
+              report.durable_tx_prefix[0], journal.per_core(0).size());
+  return 0;
+}

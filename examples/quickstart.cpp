@@ -1,0 +1,56 @@
+// Quickstart: simulate the paper's machine running the rbtree benchmark
+// under the transaction-cache (TC) mechanism and print the headline
+// metrics.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+  using namespace ntcsim;
+
+  // 1. Pick a machine. SystemConfig::paper() is Table 2 verbatim;
+  //    experiment() scales the LLC for short runs.
+  SystemConfig cfg = SystemConfig::experiment();
+  cfg.mechanism = Mechanism::kTc;  // the paper's accelerator
+
+  // 2. Generate a workload: a red-black tree per core, setup phase plus a
+  //    measured phase of one search/insert transaction per operation.
+  workload::WorkloadParams params =
+      workload::default_params(WorkloadKind::kRbtree);
+  params.ops = 1000;
+
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  std::vector<workload::TraceBundle> traces;
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    traces.push_back(workload::generate_phased(params, c, heap, nullptr));
+  }
+
+  // 3. Build the system, warm it with the setup phase, then measure.
+  sim::System sys(cfg);
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(traces[c].setup));
+  }
+  sys.run();
+  sys.reset_stats();
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(traces[c].measured));
+  }
+  sys.run();
+
+  // 4. Read the results.
+  const sim::Metrics m = sys.metrics();
+  std::printf("rbtree under TC on the paper machine (scaled LLC):\n");
+  std::printf("  cycles                 %llu\n",
+              static_cast<unsigned long long>(m.cycles));
+  std::printf("  IPC (aggregate)        %.3f\n", m.ipc);
+  std::printf("  transactions/kcycle    %.3f\n", m.tx_per_kilocycle);
+  std::printf("  LLC miss rate          %.3f\n", m.llc_miss_rate);
+  std::printf("  NVM line writes        %llu (all issued by the NTC)\n",
+              static_cast<unsigned long long>(m.nvm_writes));
+  std::printf("  persistent load lat.   %.1f cycles\n", m.pload_latency);
+  std::printf("  NTC full-stall frac.   %.5f\n", m.ntc_stall_frac);
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "cache/array.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntcsim::cache {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheArray::CacheArray(const CacheConfig& cfg)
+    : sets_(cfg.sets()), ways_(cfg.ways), policy_(cfg.replacement) {
+  NTC_ASSERT(sets_ > 0 && is_pow2(sets_), "cache set count must be a power of two");
+  lines_.resize(sets_ * ways_);
+}
+
+Line* CacheArray::lookup(Addr line_addr, bool touch) {
+  const std::uint64_t s = set_of(line_addr);
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& line = lines_[s * ways_ + w];
+    if (line.valid && line.tag == line_addr) {
+      if (touch) {
+        line.lru = ++lru_clock_;
+        line.rrpv = 0;  // SRRIP: near-immediate re-reference on a hit
+      }
+      return &line;
+    }
+  }
+  return nullptr;
+}
+
+const Line* CacheArray::peek(Addr line_addr) const {
+  const std::uint64_t s = set_of(line_addr);
+  for (unsigned w = 0; w < ways_; ++w) {
+    const Line& line = lines_[s * ways_ + w];
+    if (line.valid && line.tag == line_addr) return &line;
+  }
+  return nullptr;
+}
+
+Line* CacheArray::pick_victim_(std::uint64_t s) {
+  // Invalid ways win under every policy; pinned lines are never victims.
+  Line* victim = nullptr;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& line = lines_[s * ways_ + w];
+    if (!line.valid) return &line;
+  }
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+      for (unsigned w = 0; w < ways_; ++w) {
+        Line& line = lines_[s * ways_ + w];
+        if (line.pinned) continue;
+        if (victim == nullptr || line.lru < victim->lru) victim = &line;
+      }
+      return victim;
+    case ReplacementPolicy::kRandom: {
+      // xorshift over the unpinned ways.
+      unsigned candidates[64];
+      unsigned n = 0;
+      for (unsigned w = 0; w < ways_; ++w) {
+        if (!lines_[s * ways_ + w].pinned) candidates[n++] = w;
+      }
+      if (n == 0) return nullptr;
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      return &lines_[s * ways_ + candidates[rng_ % n]];
+    }
+    case ReplacementPolicy::kSrrip:
+      // Find a distant-re-reference (rrpv==3) line; otherwise age the set
+      // and retry — bounded by the 2-bit counter range.
+      for (int round = 0; round < 4; ++round) {
+        for (unsigned w = 0; w < ways_; ++w) {
+          Line& line = lines_[s * ways_ + w];
+          if (!line.pinned && line.rrpv >= 3) return &line;
+        }
+        bool any = false;
+        for (unsigned w = 0; w < ways_; ++w) {
+          Line& line = lines_[s * ways_ + w];
+          if (!line.pinned && line.rrpv < 3) {
+            ++line.rrpv;
+            any = true;
+          }
+        }
+        if (!any) break;  // everything pinned
+      }
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Line* CacheArray::allocate(Addr line_addr, std::optional<Eviction>& evicted) {
+  NTC_ASSERT(lookup(line_addr, false) == nullptr, "allocating an already-present line");
+  const std::uint64_t s = set_of(line_addr);
+  Line* victim = pick_victim_(s);
+  if (victim == nullptr) return nullptr;  // whole set pinned — caller bypasses.
+
+  if (victim->valid) {
+    evicted = Eviction{victim->tag, victim->dirty, victim->persistent,
+                       victim->presence};
+  }
+  *victim = Line{};
+  victim->tag = line_addr;
+  victim->valid = true;
+  victim->lru = ++lru_clock_;
+  victim->rrpv = 2;  // SRRIP insertion: long (not distant) re-reference
+  return victim;
+}
+
+std::optional<Eviction> CacheArray::invalidate(Addr line_addr) {
+  Line* line = lookup(line_addr, false);
+  if (line == nullptr) return std::nullopt;
+  Eviction ev{line->tag, line->dirty, line->persistent, line->presence};
+  if (line->pinned) note_pin(false);
+  *line = Line{};
+  return ev;
+}
+
+}  // namespace ntcsim::cache

@@ -1,0 +1,168 @@
+// Three-level inclusive cache hierarchy: private L1 + L2 per core, shared
+// LLC, write-back/write-allocate, MSHRs at L1 and LLC, LRU everywhere.
+//
+// Per the paper (§3) the hierarchy operates unmodified under every
+// mechanism; the persistence-specific behaviour is confined to small hooks:
+//   * TC   — the LLC *drops* persistent write-backs and *probes* the
+//            transaction cache on persistent misses (newest value wins).
+//   * Kiln — the LLC is nonvolatile: uncommitted persistent blocks are
+//            pinned (not evictable) and commit flushes block the LLC.
+//   * SP   — clwb() flushes a line to NVM and reports persistence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/array.hpp"
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+#include "recovery/images.hpp"
+
+namespace ntcsim::cache {
+
+struct HierarchyHooks {
+  /// TC: drop persistent lines evicted from the LLC instead of writing
+  /// them back (the NTC path is the only writer of persistent data, §3).
+  bool drop_persistent_llc_writeback = false;
+  /// TC: CAM probe of the requester core's transaction cache on a
+  /// persistent LLC miss; true = newest value found in the NTC.
+  std::function<bool(CoreId, Addr)> ntc_probe;
+  /// Kiln: the LLC is STT-RAM; evicted dirty persistent lines write back to
+  /// NVM as NV-LLC clean-backs and uncommitted blocks are pinned.
+  bool llc_nonvolatile = false;
+  /// Kiln: asked on LLC fill of a persistent line — if the filling core has
+  /// an open transaction that dirtied this line, returns its TxId (pin it).
+  std::function<TxId(CoreId, Addr)> kiln_pin_query;
+};
+
+class Hierarchy {
+ public:
+  using DoneFn = std::function<void()>;
+
+  Hierarchy(const SystemConfig& cfg, mem::MemorySystem& mem, EventQueue& events,
+            StatSet& stats, recovery::VolatileImage* vimage);
+
+  /// Demand load. `done` fires when data is back at the core. Returns false
+  /// when MSHRs or write-back resources are exhausted (retry next cycle).
+  bool load(Cycle now, CoreId core, Addr addr, bool persistent, DoneFn done);
+
+  /// Demand store (write-allocate). Completion is acceptance: the store
+  /// buffer entry can be freed once this returns true (hit, or merged into
+  /// an outstanding miss).
+  bool store(Cycle now, CoreId core, Addr addr, Word value, bool persistent,
+             TxId tx);
+
+  /// Non-temporal write: bypasses every cache level, straight to memory.
+  /// Returns false when the controller queue is full (retry).
+  bool nt_write(Cycle now, const mem::MemRequest& req);
+
+  /// Flush `addr`'s line to NVM (clwb semantics: clean, keep a copy).
+  /// `on_persisted` fires when the NVM array write completes. Returns false
+  /// to request a retry (queue full or the line is still miss-pending).
+  bool clwb(Cycle now, CoreId core, Addr addr, mem::Source source,
+            DoneFn on_persisted);
+
+  /// Kiln: pin an LLC-resident persistent line against eviction.
+  void kiln_pin(CoreId core, Addr line_addr, TxId tx);
+  /// Kiln commit step: move one transaction line from L1/L2 into the LLC,
+  /// marked committed-dirty and still pinned: an NV-LLC block "cannot be
+  /// written back to main memory before the cache flushes complete" (§5.2),
+  /// so it occupies the LLC until its NVM clean-back finishes. Upper-level
+  /// copies are invalidated — post-commit loads pay the LLC trip (Fig. 10).
+  /// Returns false when the LLC could not hold the line (bypass).
+  bool kiln_commit_line(CoreId core, Addr line_addr);
+  /// Kiln: NVM clean-back of `line_addr` completed — unpin and clean.
+  void kiln_clean_done(Addr line_addr);
+  /// Kiln: commit flushes block the LLC for other requests (§5.2).
+  void block_llc_until(Cycle until);
+  Cycle llc_blocked_until() const { return llc_blocked_until_; }
+
+  /// Retry queued write-backs and unissued misses. Call once per cycle.
+  void tick(Cycle now);
+
+  /// True when no miss or write-back is outstanding (used to drain runs).
+  bool quiesced() const;
+
+  HierarchyHooks& hooks() { return hooks_; }
+  const CacheArray& llc() const { return llc_; }
+  CacheArray& l1(CoreId core) { return *l1_[core]; }
+  CacheArray& l2(CoreId core) { return *l2_[core]; }
+
+ private:
+  struct L1Miss {
+    Addr line = 0;
+    bool persistent = false;
+    bool write_merge = false;
+    TxId tx = kNoTx;
+    std::vector<DoneFn> waiters;
+  };
+  struct LlcMiss {
+    Addr line = 0;
+    bool persistent = false;
+    bool needs_issue = false;  ///< Read not yet accepted by the controller.
+    /// (core, extra latency below LLC) pairs to fill on completion.
+    std::vector<std::pair<CoreId, DoneFn>> fills;
+  };
+
+  /// Common load/store entry; returns false on resource exhaustion.
+  bool access(Cycle now, CoreId core, Addr line, bool is_write, bool persistent,
+              TxId tx, DoneFn done);
+
+  /// Fill the private levels of `core` and fire `done` at `when`.
+  void fill_private(Cycle when_charged, CoreId core, Addr line, bool persistent,
+                    bool dirty, TxId tx);
+  /// Fill the LLC (allocating, possibly evicting); returns false on a
+  /// Kiln all-pinned bypass.
+  bool fill_llc(CoreId core, Addr line, bool persistent);
+
+  void handle_llc_eviction(const Eviction& ev);
+  void writeback_to_memory(Addr line, bool persistent, mem::Source source);
+  void invalidate_private(CoreId core, Addr line, bool* upper_dirty);
+  void issue_llc_read(Cycle now, LlcMiss& miss);
+  void complete_llc_miss(Addr line);
+
+  unsigned l1_latency_() const { return cfg_.l1.latency_cycles; }
+  unsigned l2_latency_() const { return cfg_.l2.latency_cycles; }
+  /// LLC access latency including any Kiln commit-block delay from `now`.
+  Cycle llc_ready_delay(Cycle now) const;
+
+  SystemConfig cfg_;
+  mem::MemorySystem* mem_;
+  EventQueue* events_;
+  StatSet* stats_;
+  recovery::VolatileImage* vimage_;
+  HierarchyHooks hooks_;
+
+  std::vector<std::unique_ptr<CacheArray>> l1_;
+  std::vector<std::unique_ptr<CacheArray>> l2_;
+  CacheArray llc_;
+
+  std::vector<std::unordered_map<Addr, L1Miss>> l1_miss_;  ///< per core
+  std::unordered_map<Addr, LlcMiss> llc_miss_;
+  std::deque<mem::MemRequest> wb_retry_;
+  std::size_t unissued_misses_ = 0;  ///< LlcMiss entries with needs_issue.
+  Cycle llc_blocked_until_ = 0;
+  Cycle now_ = 0;  ///< Updated by tick(); used by memory callbacks.
+
+  Counter* stat_l1_hits_;
+  Counter* stat_l1_misses_;
+  Counter* stat_l2_hits_;
+  Counter* stat_l2_misses_;
+  Counter* stat_llc_hits_;
+  Counter* stat_llc_misses_;
+  Counter* stat_llc_wb_;
+  Counter* stat_llc_wb_dropped_;
+  Counter* stat_ntc_probe_hits_;
+  Counter* stat_llc_bypass_;
+  Counter* stat_clwb_;
+  Counter* stat_reject_;
+};
+
+}  // namespace ntcsim::cache

@@ -1,0 +1,16 @@
+// Simulation invariant checking. NTC_ASSERT stays on in release builds:
+// a timing simulator that silently corrupts its own state produces numbers
+// that look plausible and are wrong, which is worse than aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NTC_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ntcsim invariant failed: %s\n  at %s:%d: %s\n", \
+                   msg, __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)

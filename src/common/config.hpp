@@ -1,0 +1,152 @@
+// Machine configuration (paper Table 2) and experiment presets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ntcsim {
+
+/// Physical address-space layout of the hybrid DRAM+NVM system (Fig. 1).
+/// DRAM occupies the low half, NVM the high half. Inside NVM we reserve
+/// per-core regions for the SP log area and the NTC overflow (hardware
+/// copy-on-write) shadow area.
+struct AddressSpace {
+  std::uint64_t dram_bytes = 8ULL << 30;  ///< 8 GB DRAM (Table 2).
+  std::uint64_t nvm_bytes = 8ULL << 30;   ///< 8 GB STT-RAM NVM (Table 2).
+
+  Addr nvm_base() const { return dram_bytes; }
+  Addr nvm_end() const { return dram_bytes + nvm_bytes; }
+  bool is_persistent(Addr a) const { return a >= nvm_base() && a < nvm_end(); }
+
+  /// Per-core write-ahead-log region (used by the SP mechanism).
+  Addr log_base(CoreId core) const {
+    return nvm_base() + nvm_bytes - (2ULL << 30) + core * (64ULL << 20);
+  }
+  std::uint64_t log_bytes_per_core() const { return 64ULL << 20; }
+
+  /// Per-core NTC overflow shadow region (hardware copy-on-write, §4.1).
+  Addr shadow_base(CoreId core) const {
+    return nvm_base() + nvm_bytes - (1ULL << 30) + core * (64ULL << 20);
+  }
+
+  /// Usable persistent heap: NVM minus the reserved log/shadow regions.
+  Addr heap_base() const { return nvm_base(); }
+  std::uint64_t heap_bytes() const { return nvm_bytes - (2ULL << 30); }
+};
+
+/// Victim-selection policy for a set-associative cache level.
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,     ///< True LRU (the default; what the paper's simulators use).
+  kRandom,  ///< Pseudo-random victim (cheap hardware).
+  kSrrip,   ///< Static RRIP (2-bit re-reference interval prediction).
+};
+
+constexpr std::string_view to_string(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "lru";
+    case ReplacementPolicy::kRandom: return "random";
+    case ReplacementPolicy::kSrrip: return "srrip";
+  }
+  return "?";
+}
+
+/// One cache level.
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 << 10;
+  unsigned ways = 4;
+  unsigned latency_cycles = 1;  ///< Access (hit) latency in CPU cycles.
+  unsigned mshrs = 16;          ///< Outstanding-miss registers.
+  unsigned writeback_buffer = 16;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+
+  std::uint64_t lines() const { return size_bytes / kLineBytes; }
+  std::uint64_t sets() const { return lines() / ways; }
+};
+
+/// Core model (PTLsim-substitute, DESIGN.md §2).
+struct CoreConfig {
+  unsigned issue_width = 4;
+  unsigned rob_entries = 128;
+  unsigned store_buffer_entries = 56;
+  unsigned compute_latency = 1;
+};
+
+/// Transaction cache (the paper's contribution, §4.1 and Table 2).
+struct TxCacheConfig {
+  std::uint64_t size_bytes = 4 << 10;  ///< 4 KB per core.
+  unsigned latency_cycles = 1;         ///< 0.5 ns at 2 GHz.
+  double overflow_threshold = 0.9;     ///< Fall-back path trips at 90 % full.
+  unsigned drain_per_cycle = 1;        ///< Committed lines issued to NVM per cycle.
+
+  std::uint64_t entries() const { return size_bytes / kLineBytes; }
+};
+
+/// Device timing for one memory technology, in CPU cycles (2 GHz: 1 cy = 0.5 ns).
+struct DeviceTiming {
+  unsigned row_hit = 30;     ///< CAS-only access.
+  unsigned row_miss = 56;    ///< PRE + ACT + CAS.
+  unsigned write_extra = 0;  ///< Additional array-write time over a read.
+  unsigned burst = 8;        ///< Data-bus occupancy per 64 B line.
+
+  static DeviceTiming ddr3();
+  /// STT-RAM: 65 ns read, 76 ns write (Table 2 / [Zhao+ MICRO'13]).
+  static DeviceTiming sttram();
+};
+
+/// Memory controller (Table 2): 8-entry read queue, 64-entry write queue,
+/// read-first scheduling with write drain when the write queue is 80 % full.
+struct MemCtrlConfig {
+  unsigned read_queue = 8;
+  unsigned write_queue = 64;
+  double drain_high_watermark = 0.8;
+  double drain_low_watermark = 0.25;
+  unsigned ranks = 4;
+  unsigned banks_per_rank = 8;
+  /// Line-interleaved channels, each with its own controller, queues and
+  /// data bus (1 = the paper's configuration).
+  unsigned channels = 1;
+  unsigned bus_latency = 8;  ///< LLC<->controller and ack-message latency.
+  /// Refresh: every `refresh_interval` cycles a rank spends
+  /// `refresh_cycles` unavailable (tREFI/tRFC). 0 disables refresh —
+  /// STT-RAM cells are nonvolatile and never refresh, one of NVM's
+  /// latency advantages the model keeps visible.
+  Cycle refresh_interval = 0;
+  Cycle refresh_cycles = 0;
+  /// tFAW: at most four row activations per rank within this window
+  /// (0 disables — the default, matching the published results).
+  Cycle tfaw = 0;
+  /// Write-to-read turnaround per rank (0 disables).
+  Cycle twtr = 0;
+  DeviceTiming timing;
+};
+
+struct SystemConfig {
+  unsigned cores = 4;
+  double ghz = 2.0;
+  AddressSpace address_space;
+  CoreConfig core;
+  CacheConfig l1;   ///< Private, 32 KB, 4-way, 0.5 ns.
+  CacheConfig l2;   ///< Private, 256 KB, 8-way, 4.5 ns.
+  CacheConfig llc;  ///< Shared, 64 MB, 16-way, 10 ns.
+  TxCacheConfig ntc;
+  MemCtrlConfig dram;
+  MemCtrlConfig nvm;
+  Mechanism mechanism = Mechanism::kOptimal;
+
+  /// Record functional values and transaction journals so that crash
+  /// recovery can be simulated and checked (costs some simulation speed).
+  bool track_recovery_state = true;
+
+  /// Table 2 configuration verbatim.
+  static SystemConfig paper();
+  /// Paper configuration with a pressure-scaled LLC and shorter runs, used
+  /// by the experiment harness (EXPERIMENTS.md documents the scaling).
+  static SystemConfig experiment();
+  /// Tiny machine for unit tests: small caches/queues so that evictions,
+  /// overflows and drains happen within a few thousand cycles.
+  static SystemConfig tiny();
+};
+
+}  // namespace ntcsim

@@ -1,0 +1,26 @@
+#include "common/event_queue.hpp"
+
+#include <utility>
+
+namespace ntcsim {
+
+void EventQueue::schedule_at(Cycle when, Callback cb) {
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::drain_until(Cycle now) {
+  while (!heap_.empty() && heap_.top().when <= now) {
+    // Copy out before pop: the callback may push new events and invalidate
+    // the reference returned by top().
+    Callback cb = heap_.top().cb;
+    heap_.pop();
+    cb();
+  }
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_seq_ = 0;
+}
+
+}  // namespace ntcsim

@@ -1,0 +1,50 @@
+// Discrete-event scheduler used for latency callbacks (cache fills, bus
+// transfers, acknowledgment messages). Cycle-ticked components (cores,
+// memory controllers, transaction caches) run in the System main loop;
+// one-shot delayed actions go through this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ntcsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute cycle `when` (>= current drain point).
+  /// Events scheduled for the same cycle fire in scheduling order.
+  void schedule_at(Cycle when, Callback cb);
+
+  /// Fire every event with time <= now, in (time, insertion) order.
+  /// Callbacks may schedule further events, including for `now` itself.
+  void drain_until(Cycle now);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  /// Cycle of the earliest pending event; only valid when !empty().
+  Cycle next_cycle() const { return heap_.top().when; }
+  void clear();
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ntcsim

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random source for workload generation.
+// SplitMix64: tiny state, excellent statistical quality for this purpose,
+// and — unlike std::mt19937 + std::uniform_int_distribution — bit-exact
+// across standard libraries, so experiments reproduce everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ntcsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Uses 128-bit multiply-shift; bias is < 2^-64.
+  std::uint64_t below(std::uint64_t bound) {
+    NTC_ASSERT(bound > 0, "Rng::below requires a positive bound");
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    NTC_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ntcsim

@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace ntcsim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NTC_ASSERT(cells.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, decimals));
+  add_row(std::move(cells));
+}
+
+std::string Table::fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << row[i];
+      for (std::size_t p = row[i].size(); p < width[i]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ntcsim

@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harness: every bench binary
+// prints the rows/series of its paper table or figure through this.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ntcsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: first cell is a label, the rest are numbers formatted
+  /// with `decimals` digits.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int decimals = 3);
+
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int decimals = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ntcsim

@@ -1,0 +1,85 @@
+// Fundamental identifiers and enums shared by every ntcsim module.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ntcsim {
+
+/// Simulated time, in CPU cycles. The whole machine runs in a single 2 GHz
+/// clock domain (see DESIGN.md §2: clock-domain substitution).
+using Cycle = std::uint64_t;
+
+/// Simulated physical byte address.
+using Addr = std::uint64_t;
+
+/// 64-bit payload carried by persistent stores. Functional values are
+/// tracked at word granularity so crash recovery can be checked exactly.
+using Word = std::uint64_t;
+
+using CoreId = std::uint32_t;
+
+/// Transaction identifier as held in the CPU TxID register and the
+/// transaction-cache data array (16 bits in hardware, Table 1).
+using TxId = std::uint32_t;
+
+inline constexpr TxId kNoTx = 0;  ///< TxID 0 == normal (non-transactional) mode.
+
+inline constexpr unsigned kLineBytes = 64;      ///< Cache-line size.
+inline constexpr unsigned kLineShift = 6;
+inline constexpr unsigned kWordBytes = 8;
+
+/// Align an address down to its cache-line base.
+constexpr Addr line_of(Addr a) { return a & ~static_cast<Addr>(kLineBytes - 1); }
+/// Align an address down to its 8-byte word base.
+constexpr Addr word_of(Addr a) { return a & ~static_cast<Addr>(kWordBytes - 1); }
+
+/// Persistence mechanisms compared in the paper's evaluation (§5.1).
+enum class Mechanism {
+  kOptimal,  ///< Native execution, no persistence guarantee.
+  kSp,       ///< Software persistence: WAL + clwb/sfence/pcommit.
+  kTc,       ///< This paper: nonvolatile transaction cache.
+  kKiln,     ///< Prior work [Zhao+ MICRO'13]: nonvolatile LLC, flush-on-commit.
+  kSpAdr,    ///< Extension: SP on an ADR platform — the controller's write
+             ///< queue is inside the persistence domain, so ordering needs
+             ///< only sfence (pcommit-free, as on post-2016 Intel systems).
+};
+
+constexpr std::string_view to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kOptimal: return "Optimal";
+    case Mechanism::kSp: return "SP";
+    case Mechanism::kTc: return "TC";
+    case Mechanism::kKiln: return "Kiln";
+    case Mechanism::kSpAdr: return "SP-ADR";
+  }
+  return "?";
+}
+
+/// The five NV-heaps-style workloads (Table 3), plus two extensions that
+/// are not in the paper's suite: `queue` (persistent FIFO ring) and
+/// `skiplist` (pointer-splicing ordered index).
+enum class WorkloadKind {
+  kGraph,
+  kRbtree,
+  kSps,
+  kBtree,
+  kHashtable,
+  kQueue,
+  kSkiplist,
+};
+
+constexpr std::string_view to_string(WorkloadKind w) {
+  switch (w) {
+    case WorkloadKind::kGraph: return "graph";
+    case WorkloadKind::kRbtree: return "rbtree";
+    case WorkloadKind::kSps: return "sps";
+    case WorkloadKind::kBtree: return "btree";
+    case WorkloadKind::kHashtable: return "hashtable";
+    case WorkloadKind::kQueue: return "queue";
+    case WorkloadKind::kSkiplist: return "skiplist";
+  }
+  return "?";
+}
+
+}  // namespace ntcsim

@@ -1,0 +1,24 @@
+// Interface between the core and a hardware commit engine that needs to
+// observe stores and run work at TX_END (implemented by persist::KilnUnit).
+// Keeping it abstract here avoids a core <-> persist dependency cycle.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ntcsim::core {
+
+class CommitEngine {
+ public:
+  virtual ~CommitEngine() = default;
+
+  virtual void begin_tx(CoreId core, TxId tx) = 0;
+  /// A persistent in-transaction store drained from the store buffer.
+  virtual void on_store(Cycle now, CoreId core, Addr addr, Word value,
+                        TxId tx) = 0;
+  /// TX_END reached with all stores drained: start the commit.
+  virtual void begin_commit(Cycle now, CoreId core, TxId tx) = 0;
+  /// True once the in-flight commit of `core` has completed.
+  virtual bool commit_done(CoreId core) const = 0;
+};
+
+}  // namespace ntcsim::core

@@ -1,0 +1,357 @@
+#include "core/core.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace ntcsim::core {
+
+Core::Core(CoreId id, const CoreConfig& cfg, Mechanism mechanism,
+           cache::Hierarchy& hier, txcache::TxCache* ntc, CommitEngine* engine,
+           StatSet& stats)
+    : id_(id),
+      cfg_(cfg),
+      mech_(mechanism),
+      hier_(&hier),
+      ntc_(ntc),
+      engine_(engine),
+      stats_(&stats),
+      prefix_("core" + std::to_string(id)) {
+  if (mech_ == Mechanism::kTc) {
+    NTC_ASSERT(ntc_ != nullptr, "TC mechanism requires a transaction cache");
+  }
+  if (mech_ == Mechanism::kKiln) {
+    NTC_ASSERT(engine_ != nullptr, "Kiln mechanism requires a commit engine");
+  }
+  stat_load_lat_ = &stats_->accumulator(prefix_ + ".load_latency");
+  stat_pload_lat_ = &stats_->accumulator(prefix_ + ".pload_latency");
+  stat_pload_hist_ = &stats_->histogram(prefix_ + ".pload_latency_hist");
+  stat_retired_ = &stats_->counter(prefix_ + ".retired");
+  stat_txs_ = &stats_->counter(prefix_ + ".txs");
+  stat_ntc_stall_ = &stats_->counter(prefix_ + ".ntc_stall_cycles");
+}
+
+void Core::bind_trace(const Trace* trace) {
+  trace_ = trace;
+  cursor_ = 0;
+}
+
+void Core::note_stall_(const char* reason) {
+  stats_->counter(prefix_ + ".stall." + reason).inc();
+}
+
+bool Core::forwarded_by_store_(const RobEntry* until, Addr addr) const {
+  const Addr word = word_of(addr);
+  for (const SbEntry& e : sb_) {
+    if (word_of(e.addr) == word) return true;
+  }
+  for (const RobEntry& e : rob_) {
+    if (&e == until) break;
+    if (e.op.kind == OpKind::kStore && word_of(e.op.addr) == word) return true;
+  }
+  return false;
+}
+
+bool Core::sb_holds_line_(Addr line) const {
+  for (const SbEntry& e : sb_) {
+    if (line_of(e.addr) == line) return true;
+  }
+  return false;
+}
+
+void Core::fetch_(Cycle now) {
+  unsigned fetched = 0;
+  while (trace_ != nullptr && cursor_ < trace_->size() &&
+         rob_.size() < cfg_.rob_entries && fetched < cfg_.issue_width) {
+    RobEntry e;
+    e.op = (*trace_)[cursor_++];
+    switch (e.op.kind) {
+      case OpKind::kCompute:
+        e.ready_at = now + cfg_.compute_latency;
+        break;
+      case OpKind::kLoad:
+        e.issue_cycle = now;
+        break;
+      default:
+        e.ready = true;  // readiness checked at retire for the rest
+        break;
+    }
+    rob_.push_back(std::move(e));
+    if (rob_.back().op.kind == OpKind::kLoad) {
+      unissued_q_.push_back(&rob_.back());
+    }
+    ++fetched;
+  }
+}
+
+void Core::on_load_done_(RobEntry* e) {
+  e->ready = true;
+  const Cycle l = now_cache_ - e->issue_cycle;
+  stat_load_lat_->add(static_cast<double>(l));
+  if (e->op.persistent) {
+    stat_pload_lat_->add(static_cast<double>(l));
+    stat_pload_hist_->add(l);
+  }
+}
+
+void Core::issue_loads_(Cycle now) {
+  // Kiln: an in-flight commit flush occupies this core's cache ports
+  // ("blocks subsequent cache and memory requests", §5.2) — no new loads
+  // issue until the flush into the NV-LLC completes.
+  if (mech_ == Mechanism::kKiln && !engine_->commit_done(id_)) return;
+  unsigned issued = 0;
+  while (!unissued_q_.empty() && issued < cfg_.issue_width) {
+    RobEntry* e = unissued_q_.front();
+    ++issued;
+    if (forwarded_by_store_(e, e->op.addr)) {
+      e->issued = true;
+      e->ready = true;  // store-to-load forwarding: 1-cycle bypass
+      stat_load_lat_->add(1.0);
+      if (e->op.persistent) {
+        stat_pload_lat_->add(1.0);
+        stat_pload_hist_->add(1);
+      }
+      unissued_q_.pop_front();
+      continue;
+    }
+    const bool ok = hier_->load(now, id_, e->op.addr, e->op.persistent,
+                                [this, e] { on_load_done_(e); });
+    if (!ok) break;  // resources exhausted; retry in order next cycle
+    e->issued = true;
+    unissued_q_.pop_front();
+  }
+}
+
+void Core::flush_wc_buffer_(Cycle /*now*/) {
+  if (wc_words_.empty()) return;
+  mem::MemRequest req;
+  req.op = mem::MemOp::kWrite;
+  req.line_addr = wc_line_;
+  req.persistent = true;
+  req.core = id_;
+  req.source = mem::Source::kLog;
+  req.payload = std::move(wc_words_);
+  wc_words_.clear();
+  unsigned* counter = &outstanding_log_flushes_;
+  ++*counter;
+  req.on_complete = [counter](const mem::MemRequest&) { --*counter; };
+  nt_pending_.push_back(std::move(req));
+}
+
+void Core::drain_nt_writes_(Cycle now) {
+  while (!nt_pending_.empty()) {
+    if (!hier_->nt_write(now, nt_pending_.front())) break;
+    nt_pending_.pop_front();
+  }
+}
+
+void Core::drain_store_buffer_(Cycle now) {
+  unsigned drained = 0;
+  while (!sb_.empty() && drained < 2) {
+    SbEntry& e = sb_.front();
+    const bool needs_ntc = mech_ == Mechanism::kTc && e.persistent &&
+                           e.tx != kNoTx;
+    if (needs_ntc && !e.ntc_done) {
+      if (!ntc_->write(now, e.addr, e.value, e.tx)) {
+        // Count only capacity stalls (the paper's §5.2 metric); port-rate
+        // pacing at slow CAM latencies is reported separately by the NTC.
+        if (ntc_->full() || ntc_->overflow_imminent()) {
+          stat_ntc_stall_->inc();
+        }
+        return;
+      }
+      e.ntc_done = true;
+    }
+    if (!e.hier_done) {
+      if (!hier_->store(now, id_, e.addr, e.value, e.persistent, e.tx)) {
+        return;  // cache resources exhausted; retry next cycle
+      }
+      e.hier_done = true;
+      if (mech_ == Mechanism::kKiln && e.persistent && e.tx != kNoTx) {
+        engine_->on_store(now, id_, e.addr, e.value, e.tx);
+      }
+    }
+    if (e.persistent && e.tx != kNoTx && e.tx == mode_reg_ &&
+        sb_tx_pending_ > 0) {
+      --sb_tx_pending_;
+    }
+    sb_.pop_front();
+    ++drained;
+  }
+}
+
+bool Core::retire_one_(Cycle now) {
+  RobEntry& e = rob_.front();
+  switch (e.op.kind) {
+    case OpKind::kCompute:
+      if (now < e.ready_at) {
+        note_stall_("compute");
+        return false;
+      }
+      break;
+
+    case OpKind::kLoad:
+      if (!e.ready) {
+        note_stall_("load");
+        return false;
+      }
+      break;
+
+    case OpKind::kStore: {
+      if (sb_.size() >= cfg_.store_buffer_entries) {
+        note_stall_("sb_full");
+        return false;
+      }
+      SbEntry s;
+      s.addr = e.op.addr;
+      s.value = e.op.value;
+      s.persistent = e.op.persistent;
+      s.tx = e.op.persistent ? mode_reg_ : kNoTx;
+      sb_.push_back(s);
+      if (s.persistent && s.tx != kNoTx &&
+          (mech_ == Mechanism::kTc || mech_ == Mechanism::kKiln)) {
+        ++sb_tx_pending_;
+      }
+      break;
+    }
+
+    case OpKind::kNtStore: {
+      // Coalesce into the open write-combining line; a new line flushes
+      // the previous one toward the NVM controller.
+      const Addr line = line_of(e.op.addr);
+      if (!wc_words_.empty() && wc_line_ != line) flush_wc_buffer_(now);
+      wc_line_ = line;
+      bool merged = false;
+      for (auto& [a, v] : wc_words_) {
+        if (a == word_of(e.op.addr)) {
+          v = e.op.value;
+          merged = true;
+        }
+      }
+      if (!merged) wc_words_.emplace_back(word_of(e.op.addr), e.op.value);
+      break;
+    }
+
+    case OpKind::kTxBegin: {
+      NTC_ASSERT(mode_reg_ == kNoTx, "TX_BEGIN inside a transaction");
+      // §4.2: copy NextTxID into the mode register; NextTxID increments.
+      // A replayed trace may start mid-stream (e.g. a measured phase run
+      // standalone), so the register adopts the trace's id — but ids must
+      // stay strictly increasing, which catches generator bugs.
+      NTC_ASSERT(static_cast<TxId>(e.op.value) >= next_tx_reg_ ||
+                     next_tx_reg_ == 1,
+                 "trace TxIds must be strictly increasing");
+      mode_reg_ = static_cast<TxId>(e.op.value);
+      next_tx_reg_ = mode_reg_ + 1;
+      sb_tx_pending_ = 0;
+      if (mech_ == Mechanism::kKiln) engine_->begin_tx(id_, mode_reg_);
+      break;
+    }
+
+    case OpKind::kTxEnd: {
+      NTC_ASSERT(mode_reg_ != kNoTx, "TX_END outside a transaction");
+      switch (mech_) {
+        case Mechanism::kOptimal:
+        case Mechanism::kSp:
+        case Mechanism::kSpAdr:
+          break;  // commit is free / already enforced by the trace
+        case Mechanism::kTc:
+          if (sb_tx_pending_ > 0) {
+            note_stall_("txend_drain");
+            return false;  // all tx stores must be in the NTC first
+          }
+          ntc_->commit(mode_reg_);
+          break;
+        case Mechanism::kKiln:
+          if (sb_tx_pending_ > 0) {
+            note_stall_("txend_drain");
+            return false;
+          }
+          // Commits are serialized per core: the flush of the previous
+          // transaction must have completed before this one may start;
+          // the flush itself runs in the background.
+          if (!engine_->commit_done(id_)) {
+            note_stall_("txend_flush");
+            return false;
+          }
+          engine_->begin_commit(now, id_, mode_reg_);
+          break;
+      }
+      mode_reg_ = kNoTx;
+      ++committed_txs_;
+      stat_txs_->inc();
+      break;
+    }
+
+    case OpKind::kClwb: {
+      if (sb_holds_line_(line_of(e.op.addr))) {
+        note_stall_("clwb_drain");
+        return false;  // the flushed store must reach the L1 first
+      }
+      const bool is_log = e.op.flush == FlushKind::kLog;
+      const mem::Source src =
+          is_log ? mem::Source::kLog : mem::Source::kFlush;
+      unsigned* counter =
+          is_log ? &outstanding_log_flushes_ : &outstanding_data_flushes_;
+      const bool ok =
+          hier_->clwb(now, id_, e.op.addr, src, [counter] { --*counter; });
+      if (!ok) {
+        note_stall_("clwb_issue");
+        return false;
+      }
+      ++*counter;
+      break;
+    }
+
+    case OpKind::kSfence:
+      // Orders prior stores: the store buffer must have drained and every
+      // write-combining flush must be on its way to the controller.
+      flush_wc_buffer_(now);
+      if (!sb_.empty() || !nt_pending_.empty()) {
+        note_stall_("sfence");
+        return false;
+      }
+      break;
+
+    case OpKind::kPcommit:
+      // Orders the log's durability. Lazy data clean-backs (issued after
+      // commit for log truncation) drain in the background and do not gate
+      // the next transaction.
+      if (outstanding_log_flushes_ > 0) {
+        note_stall_("pcommit");
+        return false;
+      }
+      break;
+  }
+
+  rob_.pop_front();
+  ++retired_;
+  stat_retired_->inc();
+  return true;
+}
+
+void Core::tick(Cycle now) {
+  now_cache_ = now;
+  // A write-combining buffer does not hold data forever: once the frontend
+  // has nothing left the open line flushes on its own (WC timeout).
+  if (trace_ != nullptr && cursor_ >= trace_->size() && rob_.empty() &&
+      !wc_words_.empty()) {
+    flush_wc_buffer_(now);
+  }
+  drain_nt_writes_(now);
+  drain_store_buffer_(now);
+  issue_loads_(now);
+  for (unsigned r = 0; r < cfg_.issue_width; ++r) {
+    if (rob_.empty()) break;
+    if (!retire_one_(now)) break;
+  }
+  fetch_(now);
+}
+
+bool Core::finished() const {
+  return trace_ != nullptr && cursor_ >= trace_->size() && rob_.empty() &&
+         sb_.empty() && nt_pending_.empty() && wc_words_.empty() &&
+         outstanding_log_flushes_ == 0 && outstanding_data_flushes_ == 0;
+}
+
+}  // namespace ntcsim::core

@@ -1,0 +1,119 @@
+// Out-of-order-window core timing model (the PTLsim substitute): 4-wide
+// fetch/retire, ROB-limited instruction window, store buffer with
+// forwarding, fence semantics, and the TxID/Mode + NextTxID registers of
+// §4.2. Persistence-mechanism behaviour at stores and TX_END follows the
+// installed policy:
+//   * TC — persistent in-tx stores are ALSO inserted into the NTC as they
+//     drain; TX_END sends a non-blocking commit request. The only stall the
+//     mechanism adds is a full NTC (§5.2).
+//   * Kiln — stores are reported to the commit engine; TX_END stalls until
+//     the engine's blocking flush finishes.
+//   * SP — the trace already carries log stores, clwb, sfence, pcommit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "mem/request.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/commit_engine.hpp"
+#include "core/trace.hpp"
+#include "txcache/tx_cache.hpp"
+
+namespace ntcsim::core {
+
+class Core {
+ public:
+  Core(CoreId id, const CoreConfig& cfg, Mechanism mechanism,
+       cache::Hierarchy& hier, txcache::TxCache* ntc, CommitEngine* engine,
+       StatSet& stats);
+
+  void bind_trace(const Trace* trace);
+  void tick(Cycle now);
+
+  /// Trace fully fetched and every buffered effect has left the core.
+  bool finished() const;
+
+  std::uint64_t retired() const { return retired_; }
+  std::uint64_t committed_txs() const { return committed_txs_; }
+  CoreId id() const { return id_; }
+  TxId current_tx() const { return mode_reg_; }
+
+ private:
+  // Deques never relocate surviving elements, so the hierarchy's fill
+  // callback can hold a RobEntry* directly: a load entry retires only
+  // after it became ready, i.e. after the callback fired.
+  struct RobEntry {
+    MicroOp op;
+    bool ready = false;
+    bool issued = false;    ///< Loads: request sent to the hierarchy.
+    Cycle ready_at = 0;     ///< Compute ops.
+    Cycle issue_cycle = 0;  ///< Loads: latency measurement start.
+  };
+  struct SbEntry {
+    Addr addr = 0;
+    Word value = 0;
+    bool persistent = false;
+    TxId tx = kNoTx;
+    bool hier_done = false;
+    bool ntc_done = false;
+  };
+
+  void fetch_(Cycle now);
+  void issue_loads_(Cycle now);
+  void drain_store_buffer_(Cycle now);
+  void flush_wc_buffer_(Cycle now);
+  void drain_nt_writes_(Cycle now);
+  bool retire_one_(Cycle now);
+  void on_load_done_(RobEntry* e);
+  bool forwarded_by_store_(const RobEntry* until, Addr addr) const;
+  bool sb_holds_line_(Addr line) const;
+  void note_stall_(const char* reason);
+
+  CoreId id_;
+  CoreConfig cfg_;
+  Mechanism mech_;
+  cache::Hierarchy* hier_;
+  txcache::TxCache* ntc_;
+  CommitEngine* engine_;
+  StatSet* stats_;
+  std::string prefix_;
+
+  const Trace* trace_ = nullptr;
+  std::size_t cursor_ = 0;
+  std::deque<RobEntry> rob_;
+  std::deque<RobEntry*> unissued_q_;  ///< Loads awaiting issue, in order.
+  std::deque<SbEntry> sb_;
+
+  // §4.2 registers: mode/TxID (0 = normal mode) and next-transaction-ID.
+  TxId mode_reg_ = kNoTx;
+  TxId next_tx_reg_ = 1;
+
+  unsigned sb_tx_pending_ = 0;        ///< Current-tx stores not yet drained.
+  unsigned outstanding_log_flushes_ = 0;   ///< clwb(log)/ntstore awaiting ack.
+  unsigned outstanding_data_flushes_ = 0;  ///< lazy data clean-backs.
+
+  /// Write-combining buffer for non-temporal stores (one open line; log
+  /// writes are sequential so this coalesces a full 64 B line per flush).
+  Addr wc_line_ = 0;
+  std::vector<std::pair<Addr, Word>> wc_words_;
+  std::deque<mem::MemRequest> nt_pending_;  ///< WC flushes awaiting the MC.
+
+  std::uint64_t retired_ = 0;
+  std::uint64_t committed_txs_ = 0;
+  Cycle now_cache_ = 0;  ///< Last ticked cycle; read by load callbacks.
+
+  Accumulator* stat_load_lat_;
+  Accumulator* stat_pload_lat_;
+  Histogram* stat_pload_hist_;
+  Counter* stat_retired_;
+  Counter* stat_txs_;
+  Counter* stat_ntc_stall_;
+};
+
+}  // namespace ntcsim::core

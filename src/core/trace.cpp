@@ -1,0 +1,13 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+
+namespace ntcsim::core {
+
+std::size_t Trace::count(OpKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [kind](const MicroOp& op) { return op.kind == kind; }));
+}
+
+}  // namespace ntcsim::core

@@ -1,0 +1,33 @@
+// A per-core micro-op program. Traces are generated once by a workload and
+// can be replayed under every mechanism (the SP transform produces a
+// rewritten copy), which keeps cross-mechanism comparisons access-identical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/microop.hpp"
+
+namespace ntcsim::core {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<MicroOp> ops) : ops_(std::move(ops)) {}
+
+  void push(MicroOp op) { ops_.push_back(op); }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  const MicroOp& operator[](std::size_t i) const { return ops_[i]; }
+  const std::vector<MicroOp>& ops() const { return ops_; }
+
+  /// Counts by kind — used for Table-1-style accounting and tests.
+  std::size_t count(OpKind kind) const;
+  /// Number of transactions (kTxBegin ops).
+  std::size_t transactions() const { return count(OpKind::kTxBegin); }
+
+ private:
+  std::vector<MicroOp> ops_;
+};
+
+}  // namespace ntcsim::core

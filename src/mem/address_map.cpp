@@ -1,0 +1,42 @@
+#include "mem/address_map.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace ntcsim::mem {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+AddressMap::AddressMap(unsigned ranks, unsigned banks_per_rank,
+                       std::uint64_t row_bytes, unsigned channels)
+    : ranks_(ranks), banks_(banks_per_rank), row_bytes_(row_bytes),
+      channels_(channels) {
+  NTC_ASSERT(ranks_ > 0 && banks_ > 0, "address map needs >= 1 bank");
+  NTC_ASSERT(channels_ > 0, "address map needs >= 1 channel");
+  NTC_ASSERT(is_pow2(row_bytes_) && row_bytes_ >= kLineBytes,
+             "row size must be a power of two >= one line");
+  NTC_ASSERT(is_pow2(ranks_) && is_pow2(banks_), "ranks/banks must be powers of two");
+}
+
+BankCoord AddressMap::decode(Addr line_addr) const {
+  // Line-interleaved mapping | row | column | rank | bank | line offset |:
+  // consecutive cache lines rotate across banks, so streaming writes (NTC
+  // drains, SP log flushes) exploit full bank-level parallelism — the
+  // layout DRAMSim2-class controllers default to for exactly this reason.
+  std::uint64_t v = (line_addr >> kLineShift) / channels_;
+  BankCoord c;
+  c.bank = static_cast<unsigned>(v & (banks_ - 1));
+  v /= banks_;
+  c.rank = static_cast<unsigned>(v & (ranks_ - 1));
+  v /= ranks_;
+  // Within one bank, `row_lines` consecutive (bank-strided) lines share a
+  // row buffer.
+  const std::uint64_t row_lines = row_bytes_ / kLineBytes;
+  c.row = v / row_lines;
+  return c;
+}
+
+}  // namespace ntcsim::mem

@@ -1,0 +1,43 @@
+// Physical-address interleaving for one memory channel:
+//   | row | rank | bank | column | line offset |
+// Row-major (open-page friendly): consecutive lines fall in the same row.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ntcsim::mem {
+
+struct BankCoord {
+  unsigned rank = 0;
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+
+  bool operator==(const BankCoord&) const = default;
+};
+
+class AddressMap {
+ public:
+  /// `row_bytes` is the row-buffer size (default 8 KB). `channels` is the
+  /// number of line-interleaved channels the address space is striped
+  /// over: the channel-selection bits are stripped before bank decoding so
+  /// each channel still uses all of its banks.
+  AddressMap(unsigned ranks, unsigned banks_per_rank,
+             std::uint64_t row_bytes = 8 << 10, unsigned channels = 1);
+
+  BankCoord decode(Addr line_addr) const;
+  unsigned ranks() const { return ranks_; }
+  unsigned banks_per_rank() const { return banks_; }
+  unsigned total_banks() const { return ranks_ * banks_; }
+  /// Flat bank index in [0, total_banks()).
+  unsigned flat_bank(const BankCoord& c) const { return c.rank * banks_ + c.bank; }
+
+ private:
+  unsigned ranks_;
+  unsigned banks_;
+  std::uint64_t row_bytes_;
+  unsigned channels_;
+};
+
+}  // namespace ntcsim::mem

@@ -1,0 +1,24 @@
+#include "mem/bank.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ntcsim::mem {
+
+Cycle Bank::access(Cycle now, std::uint64_t row, bool is_write) {
+  NTC_ASSERT(ready_at(now), "bank accessed while busy");
+  const bool hit = row_hit(row);
+  unsigned latency = hit ? timing_->row_hit : timing_->row_miss;
+  if (is_write) latency += timing_->write_extra;
+  open_row_ = row;
+  busy_until_ = now + latency;
+  return busy_until_;
+}
+
+void Bank::block_until(Cycle until) {
+  busy_until_ = std::max(busy_until_, until);
+  open_row_.reset();  // refresh closes the row buffer
+}
+
+}  // namespace ntcsim::mem

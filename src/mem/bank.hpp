@@ -1,0 +1,36 @@
+// Row-buffer bank state machine. A bank services one access at a time;
+// accessing a closed or different row costs the full PRE+ACT+CAS path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ntcsim::mem {
+
+class Bank {
+ public:
+  explicit Bank(const DeviceTiming& timing) : timing_(&timing) {}
+
+  bool ready_at(Cycle now) const { return busy_until_ <= now; }
+  bool row_hit(std::uint64_t row) const { return open_row_ && *open_row_ == row; }
+
+  /// Begin an access at `now` (requires ready_at(now)); returns the cycle
+  /// at which the array access completes (excluding data-bus transfer).
+  Cycle access(Cycle now, std::uint64_t row, bool is_write);
+
+  /// Make the bank unavailable until `until` (refresh); closes the row.
+  void block_until(Cycle until);
+
+  std::optional<std::uint64_t> open_row() const { return open_row_; }
+  Cycle busy_until() const { return busy_until_; }
+
+ private:
+  const DeviceTiming* timing_;
+  std::optional<std::uint64_t> open_row_;
+  Cycle busy_until_ = 0;
+};
+
+}  // namespace ntcsim::mem

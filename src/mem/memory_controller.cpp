@@ -1,0 +1,217 @@
+#include "mem/memory_controller.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ntcsim::mem {
+
+MemoryController::MemoryController(std::string name, const MemCtrlConfig& cfg,
+                                   EventQueue& events, StatSet& stats)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      events_(&events),
+      stats_(&stats),
+      map_(cfg.ranks, cfg.banks_per_rank, 8 << 10, cfg.channels) {
+  banks_.assign(map_.total_banks(), Bank{cfg_.timing});
+  acts_.assign(cfg_.ranks, {});
+  last_write_end_.assign(cfg_.ranks, 0);
+  stat_reads_ = &stats_->counter(name_ + ".reads");
+  stat_writes_ = &stats_->counter(name_ + ".writes");
+  for (unsigned s = 0; s < kSourceCount; ++s) {
+    stat_writes_by_source_[s] = &stats_->counter(
+        name_ + ".writes." + to_string(static_cast<Source>(s)));
+  }
+  stat_row_hits_ = &stats_->counter(name_ + ".row_hits");
+  stat_row_misses_ = &stats_->counter(name_ + ".row_misses");
+  stat_drain_entries_ = &stats_->counter(name_ + ".drain_mode_entries");
+  stat_refreshes_ = &stats_->counter(name_ + ".refreshes");
+  if (cfg_.refresh_interval > 0) {
+    // Stagger ranks across the interval, as real controllers do.
+    for (unsigned r = 0; r < cfg_.ranks; ++r) {
+      next_refresh_.push_back(cfg_.refresh_interval * (r + 1) / cfg_.ranks);
+    }
+  }
+  stat_wq_forwards_ = &stats_->counter(name_ + ".wq_forwards");
+  stat_read_latency_ = &stats_->accumulator(name_ + ".read_latency");
+}
+
+bool MemoryController::enqueue(MemRequest req, Cycle now) {
+  if (req.op == MemOp::kRead) {
+    if (read_queue_full()) return false;
+    // Forward from the write queue: a read of a line with a pending write is
+    // serviced from the queue entry without touching the array.
+    for (const Pending& w : write_q_) {
+      if (w.req.line_addr == req.line_addr) {
+        stat_wq_forwards_->inc();
+        stat_reads_->inc();
+        if (req.on_complete) {
+          auto cb = req.on_complete;
+          auto done = std::make_shared<MemRequest>(std::move(req));
+          events_->schedule_at(now + cfg_.bus_latency,
+                               [cb, done] { cb(*done); });
+        }
+        return true;
+      }
+    }
+    read_q_.push_back(Pending{std::move(req), now});
+    return true;
+  }
+  if (write_queue_full()) return false;
+  write_q_.push_back(Pending{std::move(req), now});
+  return true;
+}
+
+bool MemoryController::rank_constrained_(unsigned rank, bool is_read,
+                                         bool opens_row, Cycle now) const {
+  // tFAW: a fifth activation within the window must wait.
+  if (cfg_.tfaw > 0 && opens_row) {
+    const Cycle oldest = acts_[rank][0];  // kept sorted ascending
+    if (oldest + cfg_.tfaw > now) return true;
+  }
+  // tWTR: a read cannot follow a write on the same rank too closely.
+  if (cfg_.twtr > 0 && is_read &&
+      last_write_end_[rank] + cfg_.twtr > now) {
+    return true;
+  }
+  return false;
+}
+
+int MemoryController::pick(const std::deque<Pending>& q, Cycle now) const {
+  // §3: "different write requests of conflicted addresses are issued to the
+  // NVM in program order" — an entry is not schedulable while an older
+  // same-line entry is still queued. One forward sweep tracks the lines
+  // already seen, keeping the scan linear.
+  seen_lines_.clear();
+  int oldest_ready = -1;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const Addr line = q[i].req.line_addr;
+    const bool conflicted = !seen_lines_.insert(line).second;
+    if (conflicted) continue;
+    const BankCoord c = map_.decode(line);
+    const Bank& bank = banks_[map_.flat_bank(c)];
+    if (!bank.ready_at(now)) continue;
+    const bool hit = bank.row_hit(c.row);
+    if (rank_constrained_(c.rank, q[i].req.op == MemOp::kRead, !hit, now)) {
+      continue;
+    }
+    if (hit) return static_cast<int>(i);  // FR: row hit first.
+    if (oldest_ready < 0) oldest_ready = static_cast<int>(i);
+  }
+  return oldest_ready;  // FCFS among bank-ready row misses.
+}
+
+void MemoryController::maybe_refresh_(Cycle now) {
+  for (unsigned r = 0; r < next_refresh_.size(); ++r) {
+    if (now < next_refresh_[r]) continue;
+    // All banks of the rank go unavailable for tRFC; rows close.
+    bool all_idle = true;
+    for (unsigned b = 0; b < map_.banks_per_rank(); ++b) {
+      if (!banks_[r * map_.banks_per_rank() + b].ready_at(now)) {
+        all_idle = false;
+      }
+    }
+    if (!all_idle) continue;  // refresh waits for in-flight accesses
+    for (unsigned b = 0; b < map_.banks_per_rank(); ++b) {
+      banks_[r * map_.banks_per_rank() + b].block_until(now +
+                                                        cfg_.refresh_cycles);
+    }
+    next_refresh_[r] = now + cfg_.refresh_interval;
+    stat_refreshes_->inc();
+  }
+}
+
+void MemoryController::tick(Cycle now) {
+  maybe_refresh_(now);
+  // Write-drain policy (Table 2): read-first normally; once the write queue
+  // crosses the high watermark, service writes until the low watermark.
+  const double occ = static_cast<double>(write_q_.size()) /
+                     static_cast<double>(cfg_.write_queue);
+  if (!draining_ && occ >= cfg_.drain_high_watermark) {
+    draining_ = true;
+    stat_drain_entries_->inc();
+  } else if (draining_ && occ <= cfg_.drain_low_watermark) {
+    draining_ = false;
+  }
+
+  auto try_issue_from = [&](std::deque<Pending>& q) {
+    const int i = pick(q, now);
+    if (i < 0) return false;
+    Pending p = std::move(q[static_cast<std::size_t>(i)]);
+    q.erase(q.begin() + i);
+    issue(std::move(p), now);
+    return true;
+  };
+
+  if (draining_) {
+    if (try_issue_from(write_q_)) return;
+    try_issue_from(read_q_);
+  } else {
+    if (try_issue_from(read_q_)) return;
+    // Opportunistic writes: reads have priority, but an idle channel may
+    // still retire writes (read-first, not read-only).
+    if (read_q_.empty()) try_issue_from(write_q_);
+  }
+}
+
+void MemoryController::issue(Pending p, Cycle now) {
+  const BankCoord c = map_.decode(p.req.line_addr);
+  Bank& bank = banks_[map_.flat_bank(c)];
+  const bool is_write = p.req.op == MemOp::kWrite;
+
+  if (bank.row_hit(c.row)) {
+    stat_row_hits_->inc();
+  } else {
+    stat_row_misses_->inc();
+    // Record the activation for the tFAW window (sorted ascending).
+    auto& a = acts_[c.rank];
+    a[0] = now;
+    std::sort(a.begin(), a.end());
+  }
+  Cycle done = bank.access(now, c.row, is_write);
+  if (is_write) {
+    last_write_end_[c.rank] = std::max(last_write_end_[c.rank], done);
+  }
+
+  // Serialize the shared data bus: each transfer occupies `burst` cycles.
+  Cycle xfer_start = std::max(done, bus_busy_until_);
+  Cycle completion = xfer_start + cfg_.timing.burst;
+  bus_busy_until_ = completion;
+
+  if (is_write) {
+    stat_writes_->inc();
+    stat_writes_by_source_[static_cast<unsigned>(p.req.source)]->inc();
+    ++wear_[p.req.line_addr];
+  } else {
+    stat_reads_->inc();
+    stat_read_latency_->add(static_cast<double>(completion + cfg_.bus_latency -
+                                                p.arrival));
+  }
+
+  ++in_flight_;
+  auto done_req = std::make_shared<MemRequest>(std::move(p.req));
+  events_->schedule_at(completion + cfg_.bus_latency, [this, done_req] {
+    --in_flight_;
+    if (done_req->on_complete) done_req->on_complete(*done_req);
+  });
+}
+
+WearStats MemoryController::wear() const {
+  WearStats w;
+  w.lines_touched = wear_.size();
+  for (const auto& [line, count] : wear_) {
+    w.total_writes += count;
+    if (count > w.max_writes) {
+      w.max_writes = count;
+      w.hottest_line = line;
+    }
+  }
+  if (w.lines_touched > 0) {
+    w.mean_writes = static_cast<double>(w.total_writes) /
+                    static_cast<double>(w.lines_touched);
+  }
+  return w;
+}
+
+}  // namespace ntcsim::mem

@@ -1,0 +1,82 @@
+#include "mem/memory_system.hpp"
+
+#include <utility>
+
+namespace ntcsim::mem {
+
+MemorySystem::MemorySystem(const SystemConfig& cfg, EventQueue& events,
+                           StatSet& stats)
+    : space_(cfg.address_space), dram_("dram", cfg.dram, events, stats) {
+  // Every NVM channel registers under the same stat name, so the counters
+  // aggregate across channels automatically.
+  for (unsigned c = 0; c < cfg.nvm.channels; ++c) {
+    nvm_channels_.push_back(
+        std::make_unique<MemoryController>("nvm", cfg.nvm, events, stats));
+  }
+}
+
+bool MemorySystem::enqueue(MemRequest req, Cycle now) {
+  if (!is_nvm(req.line_addr)) {
+    return dram_.enqueue(std::move(req), now);
+  }
+  if (req.op == MemOp::kWrite && observer_ != nullptr) {
+    if (adr_domain_) {
+      // ADR: acceptance into the (power-fail protected) write queue is the
+      // durability point.
+      const bool ok = route_nvm_(req.line_addr).enqueue(req, now);
+      if (ok) observer_->on_nvm_write(req);
+      return ok;
+    }
+    // The durable image changes at the instant the array write completes —
+    // exactly the point after which a crash can no longer lose this write.
+    auto upstream = std::move(req.on_complete);
+    NvmWriteObserver* obs = observer_;
+    req.on_complete = [obs, upstream](const MemRequest& done) {
+      obs->on_nvm_write(done);
+      if (upstream) upstream(done);
+    };
+  }
+  const Addr line = req.line_addr;
+  return route_nvm_(line).enqueue(std::move(req), now);
+}
+
+bool MemorySystem::write_queue_full(Addr line_addr) const {
+  return is_nvm(line_addr) ? route_nvm_(line_addr).write_queue_full()
+                           : dram_.write_queue_full();
+}
+
+bool MemorySystem::read_queue_full(Addr line_addr) const {
+  return is_nvm(line_addr) ? route_nvm_(line_addr).read_queue_full()
+                           : dram_.read_queue_full();
+}
+
+void MemorySystem::tick(Cycle now) {
+  dram_.tick(now);
+  for (auto& ch : nvm_channels_) ch->tick(now);
+}
+
+WearStats MemorySystem::nvm_wear() const {
+  WearStats total;
+  for (const auto& ch : nvm_channels_) {
+    const WearStats w = ch->wear();
+    total.lines_touched += w.lines_touched;
+    total.total_writes += w.total_writes;
+    if (w.max_writes > total.max_writes) {
+      total.max_writes = w.max_writes;
+      total.hottest_line = w.hottest_line;
+    }
+  }
+  if (total.lines_touched > 0) {
+    total.mean_writes = static_cast<double>(total.total_writes) /
+                        static_cast<double>(total.lines_touched);
+  }
+  return total;
+}
+
+std::size_t MemorySystem::nvm_pending_writes() const {
+  std::size_t n = 0;
+  for (const auto& ch : nvm_channels_) n += ch->pending_writes();
+  return n;
+}
+
+}  // namespace ntcsim::mem

@@ -1,0 +1,80 @@
+// Hybrid main memory (Fig. 1): one DRAM channel + one NVM channel behind
+// separate controllers; requests are routed by physical address. Completed
+// persistent writes are mirrored into the durable NVM image (the functional
+// state crash recovery is checked against) and acknowledged upstream.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "mem/memory_controller.hpp"
+#include "mem/request.hpp"
+
+namespace ntcsim::mem {
+
+/// Observer of durable (array-level) NVM writes; implemented by
+/// recovery::DurableState.
+class NvmWriteObserver {
+ public:
+  virtual ~NvmWriteObserver() = default;
+  virtual void on_nvm_write(const MemRequest& req) = 0;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const SystemConfig& cfg, EventQueue& events, StatSet& stats);
+
+  /// Routes by address. Returns false when the target queue is full.
+  /// Persistent writes get the durable-image mirror + upstream ack chained
+  /// onto their completion.
+  bool enqueue(MemRequest req, Cycle now);
+
+  bool write_queue_full(Addr line_addr) const;
+  bool read_queue_full(Addr line_addr) const;
+  bool idle() const {
+    if (!dram_.idle()) return false;
+    for (const auto& ch : nvm_channels_) {
+      if (!ch->idle()) return false;
+    }
+    return true;
+  }
+
+  void tick(Cycle now);
+
+  void set_nvm_observer(NvmWriteObserver* obs) { observer_ = obs; }
+  /// ADR persistence domain: a persistent write becomes durable the moment
+  /// the controller accepts it (the write queue is power-fail protected),
+  /// not when the array write completes.
+  void set_adr_domain(bool adr) { adr_domain_ = adr; }
+
+  bool is_nvm(Addr a) const { return space_.is_persistent(a); }
+  const MemoryController& dram() const { return dram_; }
+  /// Channel 0 (or the aggregate view: all channels share stat counters).
+  const MemoryController& nvm() const { return *nvm_channels_.front(); }
+  unsigned nvm_channel_count() const {
+    return static_cast<unsigned>(nvm_channels_.size());
+  }
+  /// Aggregate per-line wear across every NVM channel.
+  WearStats nvm_wear() const;
+  std::size_t nvm_pending_writes() const;
+
+ private:
+  MemoryController& route_nvm_(Addr line_addr) {
+    return *nvm_channels_[(line_addr >> kLineShift) % nvm_channels_.size()];
+  }
+  const MemoryController& route_nvm_(Addr line_addr) const {
+    return *nvm_channels_[(line_addr >> kLineShift) % nvm_channels_.size()];
+  }
+
+  AddressSpace space_;
+  MemoryController dram_;
+  std::vector<std::unique_ptr<MemoryController>> nvm_channels_;
+  NvmWriteObserver* observer_ = nullptr;
+  bool adr_domain_ = false;
+};
+
+}  // namespace ntcsim::mem

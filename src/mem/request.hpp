@@ -1,0 +1,57 @@
+// Memory request exchanged between the LLC / transaction cache / flush
+// engines and the memory controllers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ntcsim::mem {
+
+enum class MemOp { kRead, kWrite };
+
+inline constexpr unsigned kSourceCount = 5;
+
+/// Who put this request on the memory bus. Used to split write-traffic
+/// statistics (Fig. 9) by path.
+enum class Source {
+  kDemand,    ///< LLC demand miss (read) or LLC write-back.
+  kTxCache,   ///< Transaction-cache drain of a committed entry.
+  kLog,       ///< SP write-ahead-log flush (clwb of a log line).
+  kFlush,     ///< Explicit clwb of data, or Kiln NV-LLC write-back.
+  kShadow,    ///< NTC overflow fall-back (hardware copy-on-write spill).
+};
+
+constexpr const char* to_string(Source s) {
+  switch (s) {
+    case Source::kDemand: return "demand";
+    case Source::kTxCache: return "txcache";
+    case Source::kLog: return "log";
+    case Source::kFlush: return "flush";
+    case Source::kShadow: return "shadow";
+  }
+  return "?";
+}
+
+struct MemRequest {
+  MemOp op = MemOp::kRead;
+  Addr line_addr = 0;  ///< 64 B-aligned.
+  Source source = Source::kDemand;
+  CoreId core = 0;
+  bool persistent = false;  ///< Requires a completion acknowledgment (§3).
+  TxId tx = kNoTx;
+
+  /// Functional payload of a write: word address/value pairs inside the
+  /// line. Applied to the durable NVM image when the array write completes.
+  std::vector<std::pair<Addr, Word>> payload;
+
+  /// Fired when the request completes: for reads, when data is back at the
+  /// requester; for persistent writes, this is the acknowledgment message
+  /// sent back to the transaction cache / pcommit tracker.
+  std::function<void(const MemRequest&)> on_complete;
+};
+
+}  // namespace ntcsim::mem

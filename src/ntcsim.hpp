@@ -1,0 +1,19 @@
+// Umbrella header: the public surface of the ntcsim library.
+#pragma once
+
+#include "common/config.hpp"      // SystemConfig, presets
+#include "common/stats.hpp"       // StatSet
+#include "common/types.hpp"       // Mechanism, WorkloadKind, Addr, Cycle
+#include "core/trace.hpp"         // micro-op traces
+#include "core/trace_io.hpp"      // trace capture/replay
+#include "recovery/journal.hpp"   // oracle journal
+#include "recovery/recovery.hpp"  // recovery procedures + atomicity checker
+#include "sim/config_io.hpp"      // config files
+#include "sim/energy.hpp"         // energy estimation
+#include "sim/experiment.hpp"     // mechanism x workload matrices
+#include "sim/metrics.hpp"        // run metrics
+#include "sim/report.hpp"         // CSV output
+#include "sim/system.hpp"         // the simulator
+#include "sim/timeline.hpp"       // time-series sampling
+#include "workload/emitter.hpp"   // custom workloads
+#include "workload/workloads.hpp" // the benchmark suite

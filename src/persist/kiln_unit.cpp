@@ -1,0 +1,120 @@
+#include "persist/kiln_unit.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntcsim::persist {
+
+KilnUnit::KilnUnit(unsigned cores, const KilnConfig& cfg,
+                   cache::Hierarchy& hier, EventQueue& events,
+                   recovery::DurableState* durable, StatSet& stats)
+    : cfg_(cfg), hier_(&hier), events_(&events), durable_(durable) {
+  state_.resize(cores);
+  stat_commits_ = &stats.counter("kiln.commits");
+  stat_flushed_lines_ = &stats.counter("kiln.flushed_lines");
+  stat_cleans_ = &stats.counter("kiln.cleans");
+  stat_commit_cycles_ = &stats.accumulator("kiln.commit_cycles");
+}
+
+void KilnUnit::begin_tx(CoreId core, TxId tx) {
+  PerCore& s = state_[core];
+  NTC_ASSERT(s.open_tx == kNoTx, "Kiln: transaction begun while another is open");
+  s.open_tx = tx;
+  s.writes.clear();
+  s.lines.clear();
+}
+
+void KilnUnit::on_store(Cycle /*now*/, CoreId core, Addr addr, Word value,
+                        TxId tx) {
+  PerCore& s = state_[core];
+  NTC_ASSERT(s.open_tx == tx, "Kiln: store for a transaction that is not open");
+  s.writes.emplace_back(word_of(addr), value);
+  const Addr line = line_of(addr);
+  if (s.lines.insert(line).second) {
+    // First touch: pin the block in the NV-LLC if it is resident, so the
+    // uncommitted version cannot escape to NVM.
+    hier_->kiln_pin(core, line, tx);
+  }
+}
+
+void KilnUnit::begin_commit(Cycle now, CoreId core, TxId tx) {
+  PerCore& s = state_[core];
+  NTC_ASSERT(s.open_tx == tx, "Kiln: committing a transaction that is not open");
+  NTC_ASSERT(!s.committing, "Kiln: overlapping commits on one core");
+  s.committing = true;
+  s.committing_writes = std::move(s.writes);
+  s.committing_lines = std::move(s.lines);
+  s.open_tx = kNoTx;
+  s.writes.clear();
+  s.lines.clear();
+  stat_commits_->inc();
+
+  const std::size_t n = s.committing_lines.size();
+  const Cycle duration =
+      cfg_.commit_fixed_cycles + n * static_cast<Cycle>(cfg_.cycles_per_line);
+  stat_commit_cycles_->add(static_cast<double>(duration));
+  stat_flushed_lines_->inc(n);
+
+  // The commit flush occupies the LLC: other requests wait it out (§5.2).
+  hier_->block_llc_until(now + duration);
+
+  events_->schedule_at(now + duration, [this, core] {
+    PerCore& sc = state_[core];
+    for (Addr line : sc.committing_lines) {
+      if (hier_->kiln_commit_line(core, line)) {
+        // Queue the NVM clean-back; until it completes the block stays
+        // pinned. A clean already in flight for the line covers this
+        // commit too (NV-LLC coalescing across transactions).
+        if (clean_pending_.insert(line).second) {
+          clean_q_.emplace_back(line, now_);
+        }
+      }
+    }
+    if (durable_ != nullptr) {
+      // Durability point: every line of the transaction is now in the
+      // nonvolatile LLC with its committed flag set.
+      durable_->apply_kiln_commit(sc.committing_writes);
+    }
+    sc.committing_writes.clear();
+    sc.committing_lines.clear();
+    sc.committing = false;
+  });
+}
+
+bool KilnUnit::commit_done(CoreId core) const {
+  return !state_[core].committing;
+}
+
+void KilnUnit::tick(Cycle now, mem::MemorySystem& mem) {
+  now_ = now;
+  if (clean_q_.empty()) return;
+  // Lazy policy: hold clean-backs briefly so repeated commits of the same
+  // line coalesce (clean_pending_ dedup), unless the backlog grows or the
+  // oldest entry ages out.
+  if (clean_q_.size() < cfg_.clean_batch &&
+      now < clean_q_.front().second + cfg_.clean_max_age) {
+    return;
+  }
+  const Addr line = clean_q_.front().first;
+  if (mem.write_queue_full(line)) return;
+  mem::MemRequest req;
+  req.op = mem::MemOp::kWrite;
+  req.line_addr = line;
+  req.persistent = true;
+  req.source = mem::Source::kFlush;
+  req.on_complete = [this, line](const mem::MemRequest&) {
+    clean_pending_.erase(line);
+    hier_->kiln_clean_done(line);
+  };
+  const bool ok = mem.enqueue(std::move(req), now);
+  NTC_ASSERT(ok, "NVM write queue checked before Kiln clean-back");
+  stat_cleans_->inc();
+  clean_q_.pop_front();
+}
+
+TxId KilnUnit::pin_query(CoreId core, Addr line_addr) const {
+  const PerCore& s = state_[core];
+  if (s.open_tx == kNoTx || s.committing) return kNoTx;
+  return s.lines.count(line_addr) != 0 ? s.open_tx : kNoTx;
+}
+
+}  // namespace ntcsim::persist

@@ -1,0 +1,83 @@
+// Kiln-style commit engine [Zhao+ MICRO'13], the prior hardware scheme the
+// paper compares against (§5.1): the LLC is nonvolatile; at TX_END the
+// cache controllers flush the transaction's dirty lines from L1/L2 into the
+// NV-LLC. The flush blocks the LLC for other traffic ("blocks subsequent
+// cache and memory requests ... bursts of traffic", §5.2), and uncommitted
+// blocks are pinned in the LLC, shrinking its usable capacity (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/event_queue.hpp"
+#include "mem/memory_system.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/commit_engine.hpp"
+#include "recovery/images.hpp"
+
+namespace ntcsim::persist {
+
+struct KilnConfig {
+  unsigned commit_fixed_cycles = 40;  ///< Per-commit controller handshake.
+  unsigned cycles_per_line = 10;      ///< Pipelined L1/L2 -> LLC flush rate.
+  /// Lazy clean-back policy: committed NV-LLC lines are written to NVM
+  /// once the backlog reaches `clean_batch` lines or the oldest entry ages
+  /// past `clean_max_age` cycles. The window lets same-line commits of
+  /// successive transactions coalesce into one NVM write — the reason the
+  /// paper's Kiln writes less to NVM than TC (Fig. 9).
+  unsigned clean_batch = 16;
+  Cycle clean_max_age = 2000;
+};
+
+class KilnUnit final : public core::CommitEngine {
+ public:
+  KilnUnit(unsigned cores, const KilnConfig& cfg, cache::Hierarchy& hier,
+           EventQueue& events, recovery::DurableState* durable, StatSet& stats);
+
+  void begin_tx(CoreId core, TxId tx) override;
+  void on_store(Cycle now, CoreId core, Addr addr, Word value, TxId tx) override;
+  void begin_commit(Cycle now, CoreId core, TxId tx) override;
+  bool commit_done(CoreId core) const override;
+
+  /// Issue NVM clean-backs of committed NV-LLC lines; a line stays pinned
+  /// in the LLC until its clean-back completes, so under sustained commit
+  /// traffic the usable LLC shrinks (the paper's Fig. 8 effect). One line
+  /// per cycle; same-line commits racing an in-flight clean coalesce.
+  void tick(Cycle now, mem::MemorySystem& mem);
+
+  /// Hierarchy hook: should a freshly filled persistent LLC line be pinned?
+  TxId pin_query(CoreId core, Addr line_addr) const;
+
+ private:
+  struct PerCore {
+    TxId open_tx = kNoTx;
+    std::vector<std::pair<Addr, Word>> writes;  ///< Program order.
+    std::unordered_set<Addr> lines;
+    // Commit runs in the background: the previous transaction may still be
+    // flushing into the NV-LLC while the next one executes (a new commit
+    // must wait for it — commits are serialized per core).
+    bool committing = false;
+    std::vector<std::pair<Addr, Word>> committing_writes;
+    std::unordered_set<Addr> committing_lines;
+  };
+
+  KilnConfig cfg_;
+  cache::Hierarchy* hier_;
+  EventQueue* events_;
+  recovery::DurableState* durable_;
+  std::vector<PerCore> state_;
+  std::deque<std::pair<Addr, Cycle>> clean_q_;  ///< (line, enqueue cycle)
+  std::unordered_set<Addr> clean_pending_;
+  Cycle now_ = 0;
+
+  Counter* stat_commits_;
+  Counter* stat_flushed_lines_;
+  Counter* stat_cleans_;
+  Accumulator* stat_commit_cycles_;
+};
+
+}  // namespace ntcsim::persist

@@ -1,0 +1,32 @@
+// What each persistence mechanism changes, expressed as data. The paper's
+// point is that TC leaves the hierarchy and controller alone; the policy
+// table makes the (small) per-mechanism deltas explicit and auditable.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ntcsim::persist {
+
+struct Policy {
+  /// Core: persistent in-transaction stores are also sent to the NTC and
+  /// TX_END issues a commit request to it (TC).
+  bool route_stores_to_ntc = false;
+  /// LLC: drop persistent write-backs; NVM is fed only by the NTC (TC).
+  bool drop_persistent_llc_writeback = false;
+  /// LLC: probe the NTC on persistent misses (TC).
+  bool probe_ntc_on_llc_miss = false;
+  /// LLC is nonvolatile STT-RAM; pin uncommitted blocks (Kiln).
+  bool llc_nonvolatile = false;
+  /// TX_END triggers a blocking flush of the transaction's lines into the
+  /// LLC (Kiln).
+  bool flush_on_commit = false;
+  /// The trace must be rewritten with WAL + clwb/sfence/pcommit (SP).
+  bool software_logging = false;
+  /// The NVM controller's write queue is power-fail protected (ADR):
+  /// acceptance == durability, and the SP transform omits pcommit.
+  bool adr_domain = false;
+};
+
+Policy policy_for(Mechanism m);
+
+}  // namespace ntcsim::persist

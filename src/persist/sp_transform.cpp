@@ -1,0 +1,125 @@
+#include "persist/sp_transform.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "recovery/log_format.hpp"
+
+namespace ntcsim::persist {
+
+using core::FlushKind;
+using core::MicroOp;
+using core::OpKind;
+
+core::Trace transform_sp(const core::Trace& in, CoreId core,
+                         const AddressSpace& space, SpOptions opts) {
+  core::Trace out;
+  recovery::LogCursor cursor(space.log_base(core), space.log_bytes_per_core());
+
+  bool in_tx = false;
+  TxId tx = kNoTx;
+  std::vector<MicroOp> deferred_stores;
+  std::vector<Addr> log_lines;  // unique, in append order
+
+  auto note_log_line = [&log_lines](Addr line) {
+    for (Addr l : log_lines) {
+      if (l == line) return;
+    }
+    log_lines.push_back(line);
+  };
+
+  for (const MicroOp& op : in.ops()) {
+    switch (op.kind) {
+      case OpKind::kTxBegin:
+        NTC_ASSERT(!in_tx, "SP transform: nested transaction");
+        in_tx = true;
+        tx = static_cast<TxId>(op.value);
+        deferred_stores.clear();
+        log_lines.clear();
+        out.push(op);
+        break;
+
+      case OpKind::kStore:
+        if (in_tx && op.persistent) {
+          // Log records stream through non-temporal stores (movnt), the
+          // idiom real WAL implementations use: no cache pollution, the
+          // write-combining buffer coalesces a 64 B line per flush.
+          const Addr rec = cursor.next_record();
+          if (opts.ordered) {
+            out.push(MicroOp::ntstore(rec, word_of(op.addr)));
+            out.push(MicroOp::ntstore(rec + 8, op.value));
+          } else {
+            // Fig. 2c variant: ordinary cached stores, never flushed — the
+            // log lingers in the cache hierarchy and is lost on a crash.
+            out.push(MicroOp::store(rec, word_of(op.addr), true));
+            out.push(MicroOp::store(rec + 8, op.value, true));
+          }
+          note_log_line(line_of(rec));
+          deferred_stores.push_back(op);
+        } else {
+          out.push(op);
+        }
+        break;
+
+      case OpKind::kTxEnd: {
+        NTC_ASSERT(in_tx, "SP transform: TX_END without TX_BEGIN");
+        in_tx = false;
+        if (!deferred_stores.empty()) {
+          // Ordering (SpOptions): by default the textbook two rounds —
+          // records durable, then the commit marker durable, then the data
+          // stores. single_round collapses the two pcommits into one,
+          // crash-safe because the marker carries the record count (a
+          // durable marker whose records were lost fails validation at
+          // recovery and the transaction reads as uncommitted).
+          const Addr marker = cursor.next_record();
+          if (opts.ordered) {
+            if (!opts.single_round) {
+              // Textbook WAL: the data records must be durable before the
+              // commit marker may become durable. On an ADR platform the
+              // sfence alone is the durability point (acceptance at the
+              // controller); otherwise pcommit waits for the NVM array.
+              out.push(MicroOp::sfence());   // flush the WC buffer
+              if (!opts.adr) out.push(MicroOp::pcommit());
+            }
+            out.push(MicroOp::ntstore(marker, recovery::make_commit_marker(tx)));
+            out.push(MicroOp::ntstore(marker + 8, deferred_stores.size()));
+            out.push(MicroOp::sfence());   // flush the WC buffer, drain SB
+            if (!opts.adr) out.push(MicroOp::pcommit());
+            out.push(MicroOp::sfence());
+          } else {
+            out.push(MicroOp::store(marker, recovery::make_commit_marker(tx),
+                                    true));
+            out.push(MicroOp::store(marker + 8, deferred_stores.size(), true));
+          }
+          note_log_line(line_of(marker));
+          for (const MicroOp& st : deferred_stores) out.push(st);
+          if (opts.ordered) {
+            // Write the data lines back as well (software must clean them
+            // before the log can be truncated) — the "cache flushes" half
+            // of the paper's 2x write traffic (Fig. 9). No pcommit: the
+            // flushes drain in the background.
+            std::vector<Addr> data_lines;
+            for (const MicroOp& st : deferred_stores) {
+              bool seen = false;
+              for (Addr l : data_lines) seen = seen || l == line_of(st.addr);
+              if (!seen) data_lines.push_back(line_of(st.addr));
+            }
+            for (Addr l : data_lines) {
+              out.push(MicroOp::clwb(l, FlushKind::kData));
+            }
+          }
+        }
+        out.push(op);
+        break;
+      }
+
+      default:
+        out.push(op);
+        break;
+    }
+  }
+  NTC_ASSERT(!in_tx, "SP transform: trace ends inside a transaction");
+  return out;
+}
+
+}  // namespace ntcsim::persist

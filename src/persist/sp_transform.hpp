@@ -1,0 +1,36 @@
+// SP (software persistence) trace transform, following Fig. 3(a):
+//
+//   Transaction {            Transaction {
+//     write A                  LOG_A = log(&A, vA); clwb &LOG_A
+//     write B        ==>       LOG_B = log(&B, vB); clwb &LOG_B
+//   }                          sfence; pcommit            (entries durable)
+//                              log commit marker; clwb; sfence; pcommit
+//                              write A; write B            (data after logs)
+//                            }
+//
+// Each log record is two 8-byte words (recovery/log_format.hpp). The
+// `ordered` flag disables every clwb/sfence/pcommit — the broken variant of
+// Fig. 2(c), used as the negative control in the crash-injection tests.
+#pragma once
+
+#include "common/config.hpp"
+#include "core/trace.hpp"
+
+namespace ntcsim::persist {
+
+struct SpOptions {
+  bool ordered = true;
+  /// One ordering round per transaction instead of two. Crash-safe because
+  /// the commit marker carries the record count (recovery::parse_log
+  /// rejects a marker whose records were lost), but non-standard; default
+  /// is the textbook WAL ordering: entries durable, then the marker.
+  bool single_round = false;
+  /// ADR platform: the controller write queue is in the persistence
+  /// domain, so sfence alone orders durability — no pcommit is emitted.
+  bool adr = false;
+};
+
+core::Trace transform_sp(const core::Trace& in, CoreId core,
+                         const AddressSpace& space, SpOptions opts = {});
+
+}  // namespace ntcsim::persist

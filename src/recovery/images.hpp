@@ -1,0 +1,79 @@
+// Functional memory state, kept separate from the timing models:
+//
+//  * VolatileImage — the latest architectural value of every persistent
+//    word, updated when a store drains into the cache hierarchy. Cache
+//    arrays carry no data; when a dirty persistent line is written to NVM
+//    the payload is gathered from here (exact under inclusive caching with
+//    back-invalidation — see DESIGN.md §6).
+//  * DurableState — the NVM array contents: what survives a crash. Updated
+//    only when the NVM controller completes an array write, plus the Kiln
+//    path where durability is reached at the nonvolatile LLC.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+
+namespace ntcsim::recovery {
+
+/// Word values of one cache line (8 words of 8 bytes).
+struct LineWords {
+  std::uint8_t mask = 0;  ///< Bit i set => word i holds a value.
+  Word w[8] = {};
+};
+
+class WordImage {
+ public:
+  void store(Addr word_addr, Word value);
+  /// Value of the word, or 0 (NVM cells are modeled as zero-initialized).
+  Word load(Addr word_addr) const;
+  bool contains(Addr word_addr) const;
+
+  /// All words this image holds within the given line, as (addr, value).
+  std::vector<std::pair<Addr, Word>> words_in_line(Addr line_addr) const;
+
+  std::size_t line_count() const { return lines_.size(); }
+  void clear() { lines_.clear(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [line, lw] : lines_) {
+      for (unsigned i = 0; i < 8; ++i) {
+        if (lw.mask & (1u << i)) fn(line + i * kWordBytes, lw.w[i]);
+      }
+    }
+  }
+
+ private:
+  std::unordered_map<Addr, LineWords> lines_;
+};
+
+using VolatileImage = WordImage;
+
+/// NVM array contents + the Kiln NV-LLC overlay. Implements the memory
+/// system's write observer so the image changes exactly when an NVM array
+/// write completes.
+class DurableState final : public mem::NvmWriteObserver {
+ public:
+  explicit DurableState(StatSet& stats);
+
+  void on_nvm_write(const mem::MemRequest& req) override;
+
+  /// Kiln: a transaction's writes become durable when its commit flush into
+  /// the nonvolatile LLC finishes (§5.2 of the paper / DESIGN.md §5.6).
+  void apply_kiln_commit(const std::vector<std::pair<Addr, Word>>& writes);
+
+  const WordImage& image() const { return image_; }
+  Word load(Addr word_addr) const { return image_.load(word_addr); }
+
+ private:
+  WordImage image_;
+  Counter* stat_words_;
+};
+
+}  // namespace ntcsim::recovery

@@ -1,0 +1,32 @@
+#include "recovery/journal.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntcsim::recovery {
+
+Journal::Journal(unsigned cores) : per_core_(cores), open_(cores, false) {}
+
+void Journal::begin_tx(CoreId core, TxId tx) {
+  NTC_ASSERT(core < per_core_.size(), "journal core id out of range");
+  NTC_ASSERT(!open_[core], "nested transactions are not supported");
+  per_core_[core].push_back(TxRecord{tx, {}});
+  open_[core] = true;
+}
+
+void Journal::write(CoreId core, Addr word_addr, Word value) {
+  NTC_ASSERT(open_[core], "journal write outside a transaction");
+  per_core_[core].back().writes.emplace_back(word_of(word_addr), value);
+}
+
+void Journal::end_tx(CoreId core) {
+  NTC_ASSERT(open_[core], "journal end without begin");
+  open_[core] = false;
+}
+
+std::size_t Journal::total_txs() const {
+  std::size_t n = 0;
+  for (const auto& v : per_core_) n += v.size();
+  return n;
+}
+
+}  // namespace ntcsim::recovery

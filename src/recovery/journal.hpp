@@ -1,0 +1,40 @@
+// Oracle journal of transactional writes, recorded by the workload
+// generators at trace-generation time (program order). The atomicity
+// checker compares post-crash recovered state against this journal; the
+// recovery procedures themselves never read it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ntcsim::recovery {
+
+struct TxRecord {
+  TxId tx = kNoTx;
+  /// Persistent writes of this transaction, in program order.
+  std::vector<std::pair<Addr, Word>> writes;
+};
+
+class Journal {
+ public:
+  explicit Journal(unsigned cores);
+
+  void begin_tx(CoreId core, TxId tx);
+  void write(CoreId core, Addr word_addr, Word value);
+  void end_tx(CoreId core);
+
+  const std::vector<TxRecord>& per_core(CoreId core) const {
+    return per_core_[core];
+  }
+  unsigned cores() const { return static_cast<unsigned>(per_core_.size()); }
+  std::size_t total_txs() const;
+
+ private:
+  std::vector<std::vector<TxRecord>> per_core_;
+  std::vector<bool> open_;
+};
+
+}  // namespace ntcsim::recovery

@@ -1,0 +1,43 @@
+#include "recovery/log_format.hpp"
+
+#include "common/assert.hpp"
+#include "recovery/images.hpp"
+
+namespace ntcsim::recovery {
+
+Addr LogCursor::next_record() {
+  Addr rec = base_ + used_ * 16;
+  NTC_ASSERT(rec + 16 <= end_, "SP log region overflow — enlarge the log area");
+  ++used_;
+  return rec;
+}
+
+std::vector<LoggedTx> parse_log(const WordImage& durable, Addr base,
+                                std::uint64_t bytes) {
+  std::vector<LoggedTx> committed;
+  LoggedTx open;  // records accumulated since the last commit marker
+  const std::uint64_t max_records = bytes / 16;
+
+  for (std::uint64_t i = 0; i < max_records; ++i) {
+    const Addr rec = base + i * 16;
+    if (!durable.contains(rec)) break;  // never written durably: end of log
+    const Word head = durable.load(rec);
+    const Word tail = durable.load(rec + 8);
+    if (is_commit_marker(head)) {
+      // The commit record carries the transaction's data-record count; a
+      // marker whose records are incomplete (lost) marks a broken log tail.
+      if (open.writes.size() != tail) {
+        break;
+      }
+      open.tx = commit_marker_tx(head);
+      committed.push_back(std::move(open));
+      open = LoggedTx{};
+      continue;
+    }
+    if (!durable.contains(rec + 8)) break;  // torn record
+    open.writes.emplace_back(head, tail);
+  }
+  return committed;
+}
+
+}  // namespace ntcsim::recovery

@@ -1,0 +1,243 @@
+#include "sim/config_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ntcsim::sim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+struct Key {
+  std::function<bool(SystemConfig&, const std::string&)> set;
+  std::function<std::string(const SystemConfig&)> get;
+};
+
+template <typename T, typename Field>
+Key numeric(Field field) {
+  return Key{
+      [field](SystemConfig& c, const std::string& v) {
+        std::istringstream iss(v);
+        T parsed{};
+        iss >> parsed;
+        if (iss.fail()) return false;
+        c.*field = parsed;
+        return true;
+      },
+      [field](const SystemConfig& c) {
+        std::ostringstream oss;
+        oss << c.*field;
+        return oss.str();
+      }};
+}
+
+/// Nested-member accessor: numeric field of a sub-struct.
+template <typename T, typename Sub, typename SubField>
+Key nested(Sub sub, SubField field, T scale = 1) {
+  return Key{
+      [sub, field, scale](SystemConfig& c, const std::string& v) {
+        std::istringstream iss(v);
+        double parsed{};
+        iss >> parsed;
+        if (iss.fail()) return false;
+        (c.*sub).*field = static_cast<T>(parsed * static_cast<double>(scale));
+        return true;
+      },
+      [sub, field, scale](const SystemConfig& c) {
+        std::ostringstream oss;
+        oss << static_cast<double>((c.*sub).*field) /
+                   static_cast<double>(scale);
+        return oss.str();
+      }};
+}
+
+const std::map<std::string, Key>& registry() {
+  static const std::map<std::string, Key> keys = [] {
+    std::map<std::string, Key> k;
+    k["cores"] = numeric<unsigned>(&SystemConfig::cores);
+    k["ghz"] = numeric<double>(&SystemConfig::ghz);
+    k["mechanism"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          return parse_mechanism(v, c.mechanism);
+        },
+        [](const SystemConfig& c) {
+          std::string s(to_string(c.mechanism));
+          std::transform(s.begin(), s.end(), s.begin(),
+                         [](unsigned char ch) { return std::tolower(ch); });
+          return s;
+        }};
+    k["track_recovery"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          if (v != "0" && v != "1") return false;
+          c.track_recovery_state = v == "1";
+          return true;
+        },
+        [](const SystemConfig& c) {
+          return std::string(c.track_recovery_state ? "1" : "0");
+        }};
+
+    auto cache_keys = [&k](const std::string& prefix,
+                           CacheConfig SystemConfig::* level) {
+      k[prefix + ".size_kb"] =
+          nested<std::uint64_t>(level, &CacheConfig::size_bytes, 1024);
+      k[prefix + ".ways"] = nested<unsigned>(level, &CacheConfig::ways);
+      k[prefix + ".latency"] =
+          nested<unsigned>(level, &CacheConfig::latency_cycles);
+      k[prefix + ".mshrs"] = nested<unsigned>(level, &CacheConfig::mshrs);
+      k[prefix + ".replacement"] = Key{
+          [level](SystemConfig& c, const std::string& v) {
+            if (v == "lru") {
+              (c.*level).replacement = ReplacementPolicy::kLru;
+            } else if (v == "random") {
+              (c.*level).replacement = ReplacementPolicy::kRandom;
+            } else if (v == "srrip") {
+              (c.*level).replacement = ReplacementPolicy::kSrrip;
+            } else {
+              return false;
+            }
+            return true;
+          },
+          [level](const SystemConfig& c) {
+            return std::string(to_string((c.*level).replacement));
+          }};
+    };
+    cache_keys("l1", &SystemConfig::l1);
+    cache_keys("l2", &SystemConfig::l2);
+    cache_keys("llc", &SystemConfig::llc);
+
+    k["core.issue_width"] =
+        nested<unsigned>(&SystemConfig::core, &CoreConfig::issue_width);
+    k["core.rob"] =
+        nested<unsigned>(&SystemConfig::core, &CoreConfig::rob_entries);
+    k["core.store_buffer"] = nested<unsigned>(
+        &SystemConfig::core, &CoreConfig::store_buffer_entries);
+
+    k["ntc.size_bytes"] =
+        nested<std::uint64_t>(&SystemConfig::ntc, &TxCacheConfig::size_bytes);
+    k["ntc.latency"] =
+        nested<unsigned>(&SystemConfig::ntc, &TxCacheConfig::latency_cycles);
+    k["ntc.threshold"] = nested<double>(&SystemConfig::ntc,
+                                        &TxCacheConfig::overflow_threshold);
+    k["ntc.drain_per_cycle"] =
+        nested<unsigned>(&SystemConfig::ntc, &TxCacheConfig::drain_per_cycle);
+
+    auto mc_keys = [&k](const std::string& prefix,
+                        MemCtrlConfig SystemConfig::* mc) {
+      k[prefix + ".read_queue"] =
+          nested<unsigned>(mc, &MemCtrlConfig::read_queue);
+      k[prefix + ".write_queue"] =
+          nested<unsigned>(mc, &MemCtrlConfig::write_queue);
+      k[prefix + ".drain_high"] =
+          nested<double>(mc, &MemCtrlConfig::drain_high_watermark);
+      k[prefix + ".drain_low"] =
+          nested<double>(mc, &MemCtrlConfig::drain_low_watermark);
+      k[prefix + ".ranks"] = nested<unsigned>(mc, &MemCtrlConfig::ranks);
+      k[prefix + ".banks"] =
+          nested<unsigned>(mc, &MemCtrlConfig::banks_per_rank);
+      k[prefix + ".channels"] =
+          nested<unsigned>(mc, &MemCtrlConfig::channels);
+      k[prefix + ".bus_latency"] =
+          nested<unsigned>(mc, &MemCtrlConfig::bus_latency);
+      k[prefix + ".refresh_interval"] =
+          nested<Cycle>(mc, &MemCtrlConfig::refresh_interval);
+      k[prefix + ".refresh_cycles"] =
+          nested<Cycle>(mc, &MemCtrlConfig::refresh_cycles);
+      k[prefix + ".tfaw"] = nested<Cycle>(mc, &MemCtrlConfig::tfaw);
+      k[prefix + ".twtr"] = nested<Cycle>(mc, &MemCtrlConfig::twtr);
+    };
+    mc_keys("nvm", &SystemConfig::nvm);
+    mc_keys("dram", &SystemConfig::dram);
+    return k;
+  }();
+  return keys;
+}
+
+}  // namespace
+
+bool parse_mechanism(const std::string& name, Mechanism& out) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "tc") {
+    out = Mechanism::kTc;
+  } else if (s == "sp") {
+    out = Mechanism::kSp;
+  } else if (s == "kiln") {
+    out = Mechanism::kKiln;
+  } else if (s == "sp-adr" || s == "spadr") {
+    out = Mechanism::kSpAdr;
+  } else if (s == "optimal" || s == "native") {
+    out = Mechanism::kOptimal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_workload(const std::string& name, WorkloadKind& out) {
+  for (WorkloadKind k :
+       {WorkloadKind::kGraph, WorkloadKind::kRbtree, WorkloadKind::kSps,
+        WorkloadKind::kBtree, WorkloadKind::kHashtable,
+        WorkloadKind::kQueue, WorkloadKind::kSkiplist}) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+ConfigParseResult apply_config_line(const std::string& raw,
+                                    SystemConfig& cfg) {
+  const std::string no_comment = raw.substr(0, raw.find('#'));
+  const std::string line = trim(no_comment);
+  if (line.empty()) return {};
+  const std::size_t eq = line.find('=');
+  if (eq == std::string::npos) {
+    return {false, "expected `key = value`: \"" + line + "\""};
+  }
+  const std::string key = trim(line.substr(0, eq));
+  const std::string value = trim(line.substr(eq + 1));
+  const auto& keys = registry();
+  auto it = keys.find(key);
+  if (it == keys.end()) {
+    return {false, "unknown configuration key \"" + key + "\""};
+  }
+  if (!it->second.set(cfg, value)) {
+    return {false, "invalid value \"" + value + "\" for key \"" + key + "\""};
+  }
+  return {};
+}
+
+ConfigParseResult apply_config(std::istream& is, SystemConfig& cfg) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    ConfigParseResult r = apply_config_line(line, cfg);
+    if (!r.ok) {
+      r.error = "line " + std::to_string(lineno) + ": " + r.error;
+      return r;
+    }
+  }
+  return {};
+}
+
+void write_config(std::ostream& os, const SystemConfig& cfg) {
+  for (const auto& [key, accessors] : registry()) {
+    os << key << " = " << accessors.get(cfg) << '\n';
+  }
+}
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,53 @@
+// Textual configuration for the simulator: a small INI-style `key = value`
+// format covering the knobs an experimenter actually sweeps, so machines
+// can be described in files instead of recompiled code. `#` starts a
+// comment; unknown keys are hard errors (silent typos corrupt experiments).
+//
+//   mechanism      = tc            # tc | sp | kiln | optimal
+//   cores          = 4
+//   ghz            = 2.0
+//   l1.size_kb     = 32
+//   l1.ways        = 4
+//   l1.latency     = 1             # CPU cycles
+//   l2.size_kb     = 256
+//   llc.size_kb    = 2048
+//   ntc.size_bytes = 4096
+//   ntc.latency    = 1
+//   ntc.threshold  = 0.9
+//   nvm.read_queue = 8
+//   nvm.write_queue= 64
+//   nvm.drain_high = 0.8
+//   dram.refresh_interval = 15600
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace ntcsim::sim {
+
+struct ConfigParseResult {
+  bool ok = true;
+  std::string error;  ///< First problem, with line number.
+};
+
+/// Apply `key = value` lines from `is` on top of `cfg` (so files are
+/// overlays over a preset). Returns the first error, if any.
+ConfigParseResult apply_config(std::istream& is, SystemConfig& cfg);
+
+/// Apply a single `key=value` assignment (the CLI's `--set key=value`).
+ConfigParseResult apply_config_line(const std::string& line,
+                                    SystemConfig& cfg);
+
+/// Serialize every supported key with its current value — the output
+/// round-trips through apply_config.
+void write_config(std::ostream& os, const SystemConfig& cfg);
+
+/// Parse a mechanism name ("tc", "sp", "kiln", "optimal"); ok=false and an
+/// unmodified `out` on unknown names.
+bool parse_mechanism(const std::string& name, Mechanism& out);
+bool parse_workload(const std::string& name, WorkloadKind& out);
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,60 @@
+#include "sim/energy.hpp"
+
+#include <string>
+
+namespace ntcsim::sim {
+
+EnergyBreakdown estimate_energy(const StatSet& stats, unsigned cores,
+                                bool llc_nonvolatile,
+                                std::uint64_t committed_txs,
+                                const EnergyParams& p) {
+  EnergyBreakdown e;
+
+  const double l1_accesses = static_cast<double>(
+      stats.counter_value("l1.hits") + stats.counter_value("l1.misses"));
+  const double l2_accesses = static_cast<double>(
+      stats.counter_value("l2.hits") + stats.counter_value("l2.misses"));
+  const double llc_reads = static_cast<double>(
+      stats.counter_value("llc.hits") + stats.counter_value("llc.misses"));
+  const double llc_writes =
+      static_cast<double>(stats.counter_value("llc.writebacks"));
+
+  e.l1_nj = l1_accesses * p.l1_access;
+  e.l2_nj = l2_accesses * p.l2_access;
+  if (llc_nonvolatile) {
+    e.llc_nj = llc_reads * p.llc_sttram_read + llc_writes * p.llc_sttram_write;
+  } else {
+    e.llc_nj = (llc_reads + llc_writes) * p.llc_sram_access;
+  }
+
+  double ntc_events = 0;
+  for (unsigned c = 0; c < cores; ++c) {
+    const std::string prefix = "ntc" + std::to_string(c);
+    ntc_events += static_cast<double>(
+        stats.counter_value(prefix + ".writes") +
+        stats.counter_value(prefix + ".merges") +
+        stats.counter_value(prefix + ".issued") +
+        stats.counter_value(prefix + ".acks") +
+        stats.counter_value(prefix + ".probe_hits") +
+        stats.counter_value(prefix + ".probe_misses"));
+  }
+  e.ntc_nj = ntc_events * p.ntc_access;
+
+  e.dram_nj = static_cast<double>(stats.counter_value("dram.reads") +
+                                  stats.counter_value("dram.writes")) *
+                  p.dram_line +
+              static_cast<double>(stats.counter_value("dram.refreshes")) *
+                  p.dram_refresh;
+  e.nvm_nj =
+      static_cast<double>(stats.counter_value("nvm.reads")) * p.nvm_line_read +
+      static_cast<double>(stats.counter_value("nvm.writes")) *
+          p.nvm_line_write;
+
+  e.total_nj = e.l1_nj + e.l2_nj + e.llc_nj + e.ntc_nj + e.dram_nj + e.nvm_nj;
+  if (committed_txs > 0) {
+    e.per_tx_nj = e.total_nj / static_cast<double>(committed_txs);
+  }
+  return e;
+}
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,50 @@
+// Post-run energy estimation (extension beyond the paper): event counts
+// from the statistics registry weighted by per-access energies typical of
+// the paper's technology points (32 nm SRAM caches, DDR3, STT-RAM with its
+// expensive writes). Useful for the classic persistent-memory trade-off:
+// SP's logging doubles NVM write energy, TC adds NTC accesses but keeps the
+// hierarchy untouched, Kiln moves energy into its STT-RAM LLC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace ntcsim::sim {
+
+/// Energy per event in nanojoules. Defaults are literature-typical values
+/// (CACTI-class estimates at the paper's technology points); swap in your
+/// own numbers for real studies.
+struct EnergyParams {
+  double l1_access = 0.05;
+  double l2_access = 0.35;
+  double llc_sram_access = 1.6;
+  double llc_sttram_read = 1.1;   ///< Kiln NV-LLC: cheaper reads...
+  double llc_sttram_write = 3.2;  ///< ...but costly magnetic writes.
+  double ntc_access = 0.12;       ///< 4 KB STT-RAM CAM-FIFO op.
+  double dram_line = 12.0;        ///< Per 64 B line transferred.
+  double dram_refresh = 40.0;     ///< Per rank refresh operation.
+  double nvm_line_read = 8.0;
+  double nvm_line_write = 38.0;   ///< STT-RAM write energy dominates.
+};
+
+struct EnergyBreakdown {
+  double l1_nj = 0;
+  double l2_nj = 0;
+  double llc_nj = 0;
+  double ntc_nj = 0;
+  double dram_nj = 0;
+  double nvm_nj = 0;
+  double total_nj = 0;
+  double per_tx_nj = 0;  ///< total / committed transactions.
+};
+
+/// Derive the memory-system energy of a finished run from its statistics.
+/// `llc_nonvolatile` selects the Kiln STT-RAM LLC energies.
+EnergyBreakdown estimate_energy(const StatSet& stats, unsigned cores,
+                                bool llc_nonvolatile,
+                                std::uint64_t committed_txs,
+                                const EnergyParams& p = {});
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,112 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+#include "recovery/journal.hpp"
+
+namespace ntcsim::sim {
+
+Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
+                 const ExperimentOptions& opts) {
+  SystemConfig cfg = base;
+  cfg.mechanism = mech;
+  cfg.track_recovery_state = opts.track_recovery ||
+                             mech != Mechanism::kOptimal;
+  // Even when the caller skips recovery *checking*, SP/TC/Kiln need the
+  // volatile/durable images to carry functional payloads; Optimal does not.
+
+  workload::WorkloadParams params = workload::default_params(wl);
+  params.seed = opts.seed;
+  params.ops = static_cast<std::size_t>(
+      static_cast<double>(params.ops) * opts.scale);
+  if (params.ops == 0) params.ops = 1;
+
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  std::vector<workload::TraceBundle> bundles;
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    bundles.push_back(workload::generate_phased(params, c, heap, nullptr));
+  }
+  System sys(cfg);
+  // Phase 1: build the structures (warm caches/NTC/NVM), unmeasured.
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(bundles[c].setup));
+  }
+  sys.run();
+  sys.reset_stats();
+  // Phase 2: the steady state the paper's figures report.
+  for (CoreId c = 0; c < cfg.cores; ++c) {
+    sys.load_trace(c, std::move(bundles[c].measured));
+  }
+  sys.run();
+  return sys.metrics();
+}
+
+Matrix run_matrix(const SystemConfig& base, const ExperimentOptions& opts) {
+  Matrix m;
+  for (WorkloadKind wl : kAllWorkloads) {
+    for (Mechanism mech : kAllMechanisms) {
+      m[wl][mech] = run_cell(mech, wl, base, opts);
+    }
+  }
+  return m;
+}
+
+double geometric_mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : v) {
+    NTC_ASSERT(x > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+void print_figure(std::ostream& os, const std::string& title,
+                  const Matrix& matrix, double (*metric)(const Metrics&),
+                  const std::string& caption) {
+  os << title << '\n' << caption << '\n';
+  std::vector<std::string> header{"workload"};
+  for (Mechanism mech : kAllMechanisms) {
+    header.emplace_back(to_string(mech));
+  }
+  Table table(std::move(header));
+
+  std::map<Mechanism, std::vector<double>> columns;
+  for (const auto& [wl, row] : matrix) {
+    const double base = metric(row.at(Mechanism::kOptimal));
+    std::vector<double> cells;
+    for (Mechanism mech : kAllMechanisms) {
+      const double v = metric(row.at(mech));
+      const double norm = base == 0.0 ? 0.0 : v / base;
+      cells.push_back(norm);
+      if (norm > 0.0) columns[mech].push_back(norm);
+    }
+    table.add_row(std::string(to_string(wl)), cells);
+  }
+  std::vector<double> gmeans;
+  for (Mechanism mech : kAllMechanisms) {
+    gmeans.push_back(columns[mech].empty() ? 0.0
+                                           : geometric_mean(columns[mech]));
+  }
+  table.add_row("gmean", gmeans);
+  table.print(os);
+  os << '\n';
+}
+
+ExperimentOptions parse_bench_args(int argc, char** argv) {
+  ExperimentOptions opts;
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0.0) opts.scale = s;
+  }
+  if (const char* env = std::getenv("NTCSIM_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) opts.scale = s;
+  }
+  return opts;
+}
+
+}  // namespace ntcsim::sim

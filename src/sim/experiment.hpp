@@ -1,0 +1,55 @@
+// Experiment runner used by the bench harness: builds the mechanism x
+// workload matrix of the paper's §5 and provides the normalization and
+// printing helpers the figures need.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::sim {
+
+inline constexpr Mechanism kAllMechanisms[] = {
+    Mechanism::kSp, Mechanism::kTc, Mechanism::kKiln, Mechanism::kOptimal};
+
+inline constexpr WorkloadKind kAllWorkloads[] = {
+    WorkloadKind::kGraph, WorkloadKind::kRbtree, WorkloadKind::kSps,
+    WorkloadKind::kBtree, WorkloadKind::kHashtable};
+
+struct ExperimentOptions {
+  /// Scale factor on measured ops (and proportionally setup), letting bench
+  /// binaries offer a quick mode (`<bench> 0.2`).
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  /// Skip functional recovery tracking for pure performance sweeps (~15 %
+  /// faster); the figure benches leave it on.
+  bool track_recovery = false;
+};
+
+/// One cell of the evaluation matrix.
+Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
+                 const ExperimentOptions& opts = {});
+
+/// Full matrix; cells[workload][mechanism].
+using Matrix = std::map<WorkloadKind, std::map<Mechanism, Metrics>>;
+Matrix run_matrix(const SystemConfig& base, const ExperimentOptions& opts = {});
+
+/// Normalized-to-Optimal figure printer: one row per workload plus a
+/// geometric-mean row, one column per mechanism. `metric` extracts the
+/// plotted quantity; `higher_is_better` only affects the caption.
+void print_figure(std::ostream& os, const std::string& title,
+                  const Matrix& matrix, double (*metric)(const Metrics&),
+                  const std::string& caption);
+
+/// Parse bench argv: optional positional scale factor.
+ExperimentOptions parse_bench_args(int argc, char** argv);
+
+double geometric_mean(const std::vector<double>& v);
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,33 @@
+// Metrics extracted from one run — the quantities the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ntcsim::sim {
+
+struct Metrics {
+  Cycle cycles = 0;
+  std::uint64_t retired_uops = 0;
+  std::uint64_t committed_txs = 0;
+
+  double ipc = 0.0;               ///< Fig. 6 numerator.
+  double tx_per_kilocycle = 0.0;  ///< Fig. 7 (throughput).
+  double llc_miss_rate = 0.0;     ///< Fig. 8.
+  std::uint64_t nvm_writes = 0;   ///< Fig. 9 (write traffic to NVM).
+  double pload_latency = 0.0;     ///< Fig. 10 (persistent load latency).
+  /// Distribution edges of persistent-load latency (power-of-two bucket
+  /// upper bounds): the tail behaviour behind Fig. 10's averages.
+  std::uint64_t pload_latency_p50 = 0;
+  std::uint64_t pload_latency_p99 = 0;
+
+  // Secondary diagnostics.
+  std::uint64_t nvm_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t llc_wb_dropped = 0;
+  std::uint64_t ntc_spills = 0;
+  double ntc_stall_frac = 0.0;  ///< Fraction of core-cycles stalled on a full NTC.
+};
+
+}  // namespace ntcsim::sim

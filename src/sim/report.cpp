@@ -1,0 +1,34 @@
+#include "sim/report.hpp"
+
+namespace ntcsim::sim {
+
+namespace {
+constexpr const char* kHeader =
+    "label,cycles,retired_uops,committed_txs,ipc,tx_per_kilocycle,"
+    "llc_miss_rate,nvm_writes,pload_latency,nvm_reads,dram_writes,"
+    "llc_wb_dropped,ntc_spills,ntc_stall_frac";
+}  // namespace
+
+void write_metrics_csv_row(std::ostream& os, const std::string& label,
+                           const Metrics& m, bool header) {
+  if (header) os << kHeader << '\n';
+  os << label << ',' << m.cycles << ',' << m.retired_uops << ','
+     << m.committed_txs << ',' << m.ipc << ',' << m.tx_per_kilocycle << ','
+     << m.llc_miss_rate << ',' << m.nvm_writes << ',' << m.pload_latency
+     << ',' << m.nvm_reads << ',' << m.dram_writes << ',' << m.llc_wb_dropped
+     << ',' << m.ntc_spills << ',' << m.ntc_stall_frac << '\n';
+}
+
+void write_matrix_csv(std::ostream& os, const Matrix& matrix) {
+  os << kHeader << '\n';
+  for (const auto& [wl, row] : matrix) {
+    for (const auto& [mech, metrics] : row) {
+      write_metrics_csv_row(
+          os,
+          std::string(to_string(wl)) + "/" + std::string(to_string(mech)),
+          metrics);
+    }
+  }
+}
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,22 @@
+// Machine-readable experiment output: CSV for the mechanism x workload
+// matrix and per-run metric rows, so results can be plotted or diffed
+// without scraping the human-readable tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+
+namespace ntcsim::sim {
+
+/// One CSV row per (workload, mechanism) cell with every Metrics field.
+/// Includes a header row.
+void write_matrix_csv(std::ostream& os, const Matrix& matrix);
+
+/// One CSV row for a single run (no header unless `header` is true).
+void write_metrics_csv_row(std::ostream& os, const std::string& label,
+                           const Metrics& m, bool header = false);
+
+}  // namespace ntcsim::sim

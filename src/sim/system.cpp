@@ -1,0 +1,203 @@
+#include "sim/system.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "persist/sp_transform.hpp"
+
+namespace ntcsim::sim {
+
+System::System(const SystemConfig& cfg, SystemOptions opts,
+               persist::KilnConfig kiln_cfg)
+    : cfg_(cfg), opts_(opts), policy_(persist::policy_for(cfg.mechanism)) {
+  mem_ = std::make_unique<mem::MemorySystem>(cfg_, events_, stats_);
+  mem_->set_adr_domain(policy_.adr_domain);
+  if (cfg_.track_recovery_state) {
+    durable_ = std::make_unique<recovery::DurableState>(stats_);
+    mem_->set_nvm_observer(durable_.get());
+    vimage_ = std::make_unique<recovery::VolatileImage>();
+  }
+  hier_ = std::make_unique<cache::Hierarchy>(cfg_, *mem_, events_, stats_,
+                                             vimage_.get());
+
+  hier_->hooks().drop_persistent_llc_writeback =
+      policy_.drop_persistent_llc_writeback;
+  hier_->hooks().llc_nonvolatile = policy_.llc_nonvolatile;
+
+  if (policy_.route_stores_to_ntc) {
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+      ntcs_.push_back(std::make_unique<txcache::TxCache>(
+          "ntc" + std::to_string(c), c, cfg_.ntc, cfg_.address_space, *mem_,
+          stats_));
+    }
+    if (policy_.probe_ntc_on_llc_miss) {
+      hier_->hooks().ntc_probe = [this](CoreId core, Addr line) {
+        // The requester's private NTC holds its own newest data; with
+        // core-partitioned heaps other NTCs never match, but probe them
+        // for completeness (shared-address programs).
+        if (ntcs_[core]->probe(line)) return true;
+        for (unsigned c = 0; c < ntcs_.size(); ++c) {
+          if (c != core && ntcs_[c]->probe(line)) return true;
+        }
+        return false;
+      };
+    }
+  }
+
+  if (policy_.flush_on_commit) {
+    kiln_ = std::make_unique<persist::KilnUnit>(
+        cfg_.cores, kiln_cfg, *hier_, events_, durable_.get(), stats_);
+    hier_->hooks().kiln_pin_query = [this](CoreId core, Addr line) {
+      return kiln_->pin_query(core, line);
+    };
+  }
+
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    cores_.push_back(std::make_unique<core::Core>(
+        c, cfg_.core, cfg_.mechanism, *hier_,
+        ntcs_.empty() ? nullptr : ntcs_[c].get(), kiln_.get(), stats_));
+  }
+  traces_.resize(cfg_.cores);
+}
+
+void System::load_trace(CoreId core, core::Trace trace) {
+  NTC_ASSERT(core < cfg_.cores, "trace loaded on a nonexistent core");
+  if (policy_.software_logging) {
+    persist::SpOptions sp;
+    sp.ordered = opts_.sp_ordered;
+    sp.adr = policy_.adr_domain;
+    traces_[core] =
+        persist::transform_sp(trace, core, cfg_.address_space, sp);
+  } else {
+    traces_[core] = std::move(trace);
+  }
+  cores_[core]->bind_trace(&traces_[core]);
+}
+
+void System::step_() {
+  events_.drain_until(now_);
+  for (auto& c : cores_) c->tick(now_);
+  for (auto& n : ntcs_) n->tick(now_);
+  if (kiln_ != nullptr) kiln_->tick(now_, *mem_);
+  hier_->tick(now_);
+  mem_->tick(now_);
+  ++now_;
+}
+
+bool System::finished() const {
+  for (const auto& c : cores_) {
+    if (!c->finished()) return false;
+  }
+  if (!hier_->quiesced() || !mem_->idle() || !events_.empty()) return false;
+  for (const auto& n : ntcs_) {
+    if (!n->drained()) return false;
+  }
+  return true;
+}
+
+void System::run(Cycle max_cycles) {
+  const Cycle limit = now_ + max_cycles;
+  while (!finished()) {
+    NTC_ASSERT(now_ < limit, "simulation exceeded its cycle budget (deadlock?)");
+    step_();
+  }
+}
+
+bool System::run_for(Cycle cycles) {
+  const Cycle until = now_ + cycles;
+  while (now_ < until && !finished()) step_();
+  return finished();
+}
+
+recovery::WordImage System::crash_and_recover() const {
+  NTC_ASSERT(durable_ != nullptr,
+             "crash_and_recover requires track_recovery_state");
+  switch (cfg_.mechanism) {
+    case Mechanism::kOptimal:
+      return recovery::recover_none(*durable_);
+    case Mechanism::kSp:
+    case Mechanism::kSpAdr:
+      return recovery::recover_sp(*durable_, cfg_.address_space, cfg_.cores);
+    case Mechanism::kTc: {
+      std::vector<recovery::NtcSnapshot> snaps;
+      snaps.reserve(ntcs_.size());
+      for (const auto& n : ntcs_) snaps.push_back(n->snapshot());
+      return recovery::recover_tc(*durable_, snaps);
+    }
+    case Mechanism::kKiln:
+      return recovery::recover_kiln(*durable_);
+  }
+  return recovery::recover_none(*durable_);
+}
+
+void System::reset_stats() {
+  stats_.reset();
+  stats_epoch_ = now_;
+}
+
+Metrics System::metrics() const {
+  Metrics m;
+  m.cycles = now_ - stats_epoch_;
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    const std::string p = "core" + std::to_string(c);
+    m.retired_uops += stats_.counter_value(p + ".retired");
+    m.committed_txs += stats_.counter_value(p + ".txs");
+  }
+  if (m.cycles > 0) {
+    m.ipc = static_cast<double>(m.retired_uops) / static_cast<double>(m.cycles);
+    m.tx_per_kilocycle = 1000.0 * static_cast<double>(m.committed_txs) /
+                         static_cast<double>(m.cycles);
+  }
+  const std::uint64_t hits = stats_.counter_value("llc.hits");
+  const std::uint64_t misses = stats_.counter_value("llc.misses");
+  if (hits + misses > 0) {
+    m.llc_miss_rate =
+        static_cast<double>(misses) / static_cast<double>(hits + misses);
+  }
+  m.nvm_writes = stats_.counter_value("nvm.writes");
+  m.nvm_reads = stats_.counter_value("nvm.reads");
+  m.dram_writes = stats_.counter_value("dram.writes");
+  m.llc_wb_dropped = stats_.counter_value("llc.wb_dropped");
+  m.ntc_spills = stats_.counter_prefix_sum("ntc") == 0
+                     ? 0
+                     : [this] {
+                         std::uint64_t s = 0;
+                         for (unsigned c = 0; c < cfg_.cores; ++c) {
+                           s += stats_.counter_value("ntc" + std::to_string(c) +
+                                                     ".spills");
+                         }
+                         return s;
+                       }();
+
+  double pload_sum = 0.0;
+  std::uint64_t pload_n = 0;
+  std::uint64_t ntc_stalls = 0;
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    const std::string p = "core" + std::to_string(c);
+    pload_sum += stats_.accumulator_sum(p + ".pload_latency");
+    pload_n += stats_.accumulator_count(p + ".pload_latency");
+    ntc_stalls += stats_.counter_value(p + ".ntc_stall_cycles");
+  }
+  if (pload_n > 0) m.pload_latency = pload_sum / static_cast<double>(pload_n);
+  {
+    // Percentiles from the merged per-core histograms (bucketed: edges are
+    // power-of-two upper bounds).
+    Histogram merged;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+      merged.merge(const_cast<StatSet&>(stats_).histogram(
+          "core" + std::to_string(c) + ".pload_latency_hist"));
+    }
+    if (merged.total() > 0) {
+      m.pload_latency_p50 = merged.percentile_edge(50.0);
+      m.pload_latency_p99 = merged.percentile_edge(99.0);
+    }
+  }
+  if (m.cycles > 0) {
+    m.ntc_stall_frac = static_cast<double>(ntc_stalls) /
+                       static_cast<double>(m.cycles * cfg_.cores);
+  }
+  return m;
+}
+
+}  // namespace ntcsim::sim

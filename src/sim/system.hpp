@@ -1,0 +1,90 @@
+// Full-system assembly: cores + hierarchy + transaction caches + hybrid
+// memory + the selected persistence mechanism, with a crash-and-recover
+// entry point for the consistency experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "core/core.hpp"
+#include "core/trace.hpp"
+#include "mem/memory_system.hpp"
+#include "persist/kiln_unit.hpp"
+#include "persist/policy.hpp"
+#include "recovery/images.hpp"
+#include "recovery/recovery.hpp"
+#include "sim/metrics.hpp"
+#include "txcache/tx_cache.hpp"
+
+namespace ntcsim::sim {
+
+struct SystemOptions {
+  /// SP only: emit the clwb/sfence/pcommit ordering (true, Fig. 2b) or the
+  /// deliberately broken unordered variant (false, Fig. 2c) used as the
+  /// negative control in crash tests.
+  bool sp_ordered = true;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg, SystemOptions opts = {},
+                  persist::KilnConfig kiln_cfg = {});
+
+  /// Install a workload trace on one core. Applies the SP transform when
+  /// the configured mechanism is kSp.
+  void load_trace(CoreId core, core::Trace trace);
+
+  /// Run until every core has retired its trace and all buffered effects
+  /// (write-backs, NTC drains, flushes) have reached memory.
+  void run(Cycle max_cycles = 2'000'000'000ULL);
+  /// Advance exactly `cycles` (crash-injection runs). Returns finished().
+  bool run_for(Cycle cycles);
+  bool finished() const;
+  Cycle now() const { return now_; }
+
+  Metrics metrics() const;
+  /// Zero every statistic and start a new measurement epoch (used between
+  /// the setup and measured phases; caches and structures stay warm).
+  void reset_stats();
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Simulate a power failure at the current cycle and run the configured
+  /// mechanism's recovery procedure over what is durable.
+  recovery::WordImage crash_and_recover() const;
+
+  core::Core& core(CoreId c) { return *cores_[c]; }
+  txcache::TxCache* ntc(CoreId c) {
+    return ntcs_.empty() ? nullptr : ntcs_[c].get();
+  }
+  cache::Hierarchy& hierarchy() { return *hier_; }
+  mem::MemorySystem& memory() { return *mem_; }
+  const recovery::DurableState* durable() const { return durable_.get(); }
+
+ private:
+  void step_();
+
+  SystemConfig cfg_;
+  SystemOptions opts_;
+  persist::Policy policy_;
+  StatSet stats_;
+  EventQueue events_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::unique_ptr<recovery::DurableState> durable_;
+  std::unique_ptr<recovery::VolatileImage> vimage_;
+  std::unique_ptr<cache::Hierarchy> hier_;
+  std::vector<std::unique_ptr<txcache::TxCache>> ntcs_;
+  std::unique_ptr<persist::KilnUnit> kiln_;
+  std::vector<std::unique_ptr<core::Core>> cores_;
+  std::vector<core::Trace> traces_;
+  Cycle now_ = 0;
+  Cycle stats_epoch_ = 0;  ///< Cycle at the last reset_stats().
+};
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,45 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+namespace ntcsim::sim {
+
+std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
+  std::vector<TimelineSample> samples;
+  std::uint64_t prev_txs = 0;
+  bool done = false;
+  while (!done) {
+    done = sys.run_for(interval);
+    TimelineSample s;
+    s.cycle = sys.now();
+    const Metrics m = sys.metrics();
+    s.committed_txs = m.committed_txs;
+    s.nvm_writes = m.nvm_writes;
+    s.nvm_reads = m.nvm_reads;
+    s.window_tx_per_kilocycle =
+        1000.0 * static_cast<double>(m.committed_txs - prev_txs) /
+        static_cast<double>(interval);
+    prev_txs = m.committed_txs;
+    for (CoreId c = 0; c < sys.config().cores; ++c) {
+      if (sys.ntc(c) != nullptr) {
+        s.ntc_occupancy = std::max(s.ntc_occupancy, sys.ntc(c)->occupancy());
+      }
+    }
+    s.nvm_write_queue = sys.memory().nvm_pending_writes();
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+void write_timeline_csv(std::ostream& os,
+                        const std::vector<TimelineSample>& samples) {
+  os << "cycle,committed_txs,nvm_writes,nvm_reads,window_tx_per_kilocycle,"
+        "ntc_occupancy,nvm_write_queue\n";
+  for (const TimelineSample& s : samples) {
+    os << s.cycle << ',' << s.committed_txs << ',' << s.nvm_writes << ','
+       << s.nvm_reads << ',' << s.window_tx_per_kilocycle << ','
+       << s.ntc_occupancy << ',' << s.nvm_write_queue << '\n';
+  }
+}
+
+}  // namespace ntcsim::sim

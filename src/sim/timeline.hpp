@@ -1,0 +1,33 @@
+// Time-series sampling of a running system: cumulative and windowed
+// metrics at a fixed cycle interval, for plotting warm-up behaviour, NTC
+// occupancy waves, and write-drain bursts that end-of-run averages hide.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/system.hpp"
+
+namespace ntcsim::sim {
+
+struct TimelineSample {
+  Cycle cycle = 0;
+  std::uint64_t committed_txs = 0;   ///< Cumulative.
+  std::uint64_t nvm_writes = 0;      ///< Cumulative.
+  std::uint64_t nvm_reads = 0;       ///< Cumulative.
+  double window_tx_per_kilocycle = 0.0;  ///< Rate within this window.
+  std::size_t ntc_occupancy = 0;     ///< Max across cores at sample time.
+  std::size_t nvm_write_queue = 0;   ///< Controller occupancy at sample time.
+};
+
+/// Run `sys` to completion, recording one sample every `interval` cycles.
+/// The system must already have its traces loaded.
+std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval);
+
+/// CSV with a header row; one line per sample.
+void write_timeline_csv(std::ostream& os,
+                        const std::vector<TimelineSample>& samples);
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,351 @@
+#include "txcache/tx_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "mem/request.hpp"
+
+namespace ntcsim::txcache {
+
+TxCache::TxCache(std::string name, CoreId core, const TxCacheConfig& cfg,
+                 const AddressSpace& space, mem::MemorySystem& mem,
+                 StatSet& stats)
+    : name_(std::move(name)), core_(core), cfg_(cfg), space_(space), mem_(&mem) {
+  NTC_ASSERT(cfg_.entries() >= 2, "transaction cache needs >= 2 entries");
+  entries_.resize(cfg_.entries());
+  stat_writes_ = &stats.counter(name_ + ".writes");
+  stat_commits_ = &stats.counter(name_ + ".commits");
+  stat_issued_ = &stats.counter(name_ + ".issued");
+  stat_acks_ = &stats.counter(name_ + ".acks");
+  stat_probe_hits_ = &stats.counter(name_ + ".probe_hits");
+  stat_probe_misses_ = &stats.counter(name_ + ".probe_misses");
+  stat_spills_ = &stats.counter(name_ + ".spills");
+  stat_merges_ = &stats.counter(name_ + ".merges");
+  stat_full_rejects_ = &stats.counter(name_ + ".full_rejects");
+  stat_port_busy_ = &stats.counter(name_ + ".port_busy");
+}
+
+bool TxCache::overflow_imminent() const {
+  return static_cast<double>(count_) >=
+         cfg_.overflow_threshold * static_cast<double>(entries_.size());
+}
+
+bool TxCache::write(Cycle now, Addr addr, Word value, TxId tx) {
+  NTC_ASSERT(tx != kNoTx, "NTC write requires a transaction id");
+  // The CAM port completes one operation per access latency. At the
+  // paper's 0.5 ns (one CPU cycle) the port never blocks; a slower array
+  // throttles insert rate.
+  if (now < port_free_at_) {
+    stat_port_busy_->inc();
+    return false;
+  }
+  // CAM lookup: a same-line write of the SAME open transaction coalesces
+  // into the existing entry (a cache-line entry holds the whole 64 B line).
+  // Multi-versioning is per *transaction*: the open transaction's entry is
+  // always the newest version of the line, so an older transaction's entry
+  // is never disturbed. The line index mirrors the CAM's single-cycle match.
+  if (auto it = active_lines_.find(line_of(addr)); it != active_lines_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.state == State::kActive && e.tx == tx) {
+      port_free_at_ = now + cfg_.latency_cycles - 1;
+      for (auto& [a, v] : e.words) {
+        if (a == word_of(addr)) {
+          v = value;
+          stat_merges_->inc();
+          return true;
+        }
+      }
+      e.words.emplace_back(word_of(addr), value);
+      stat_merges_->inc();
+      return true;
+    }
+  }
+  // §4.1: "first we check if the cache line entry pointed by the head is in
+  // the available state" — if not, the FIFO is full and the CPU must wait.
+  if (entries_[head_].state != State::kAvailable) {
+    stat_full_rejects_->inc();
+    return false;
+  }
+  Entry& e = entries_[head_];
+  e.state = State::kActive;
+  e.tx = tx;
+  e.line = line_of(addr);
+  e.words.assign(1, {word_of(addr), value});
+  e.issued = false;
+  e.seq = next_seq_++;
+  active_lines_[e.line] = head_;
+  port_free_at_ = now + cfg_.latency_cycles - 1;
+  head_ = next_(head_);
+  ++count_;
+  stat_writes_->inc();
+  return true;
+}
+
+void TxCache::commit(TxId tx) {
+  stat_commits_->inc();
+  active_lines_.clear();  // the open transaction's entries become immutable
+  // CAM match on TxID across the whole data array (§4.1).
+  for (Entry& e : entries_) {
+    if (e.state == State::kActive && e.tx == tx) {
+      e.state = State::kCommitted;
+      ++committed_unissued_;
+    }
+  }
+  for (auto& s : spills_) {
+    if (s->tx == tx && !s->committed) {
+      s->committed = true;
+      ++committed_spills_;
+    }
+  }
+}
+
+bool TxCache::probe(Addr line_addr) const {
+  // Nearest-head match == newest version: scan backwards from head.
+  if (count_ > 0) {
+    std::size_t i = head_;
+    for (std::size_t n = 0; n < entries_.size(); ++n) {
+      i = (i + entries_.size() - 1) % entries_.size();
+      const Entry& e = entries_[i];
+      if (e.state != State::kAvailable && e.line == line_addr) {
+        stat_probe_hits_->inc();
+        return true;
+      }
+      if (i == tail_) break;
+    }
+  }
+  // Spilled-but-unwritten-home data also holds the newest version.
+  for (auto it = spills_.rbegin(); it != spills_.rend(); ++it) {
+    if (line_of((*it)->words.front().first) == line_addr) {
+      stat_probe_hits_->inc();
+      return true;
+    }
+  }
+  stat_probe_misses_->inc();
+  return false;
+}
+
+void TxCache::on_ack(Addr line_addr) {
+  stat_acks_->inc();
+  // Nearest-tail match: the oldest issued entry for this line completed
+  // first, because the controller keeps same-address writes in order (§4.1).
+  if (count_ > 0) {
+    std::size_t i = tail_;
+    for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
+      Entry& e = entries_[i];
+      if (e.state == State::kCommitted && e.issued && e.line == line_addr) {
+        e.state = State::kAvailable;
+        e.tx = kNoTx;
+        e.words.clear();
+        advance_tail_();
+        return;
+      }
+    }
+  }
+  NTC_ASSERT(false, "NVM ack does not match any issued NTC entry");
+}
+
+void TxCache::advance_tail_() {
+  while (count_ > 0 && entries_[tail_].state == State::kAvailable) {
+    tail_ = next_(tail_);
+    --count_;
+  }
+}
+
+bool TxCache::issue_entry_(Cycle now, std::size_t idx) {
+  Entry& e = entries_[idx];
+  if (mem_->write_queue_full(e.line)) return false;
+  mem::MemRequest req;
+  req.op = mem::MemOp::kWrite;
+  req.line_addr = e.line;
+  req.persistent = true;
+  req.core = core_;
+  req.tx = e.tx;
+  req.source = mem::Source::kTxCache;
+  req.payload = e.words;
+  const Addr line = e.line;
+  req.on_complete = [this, line](const mem::MemRequest&) { on_ack(line); };
+  const bool ok = mem_->enqueue(std::move(req), now);
+  NTC_ASSERT(ok, "NVM write queue checked before NTC issue");
+  e.issued = true;
+  stat_issued_->inc();
+  return true;
+}
+
+void TxCache::run_overflow_fallback_(Cycle now) {
+  // §4.1: once almost full, spill the oldest ACTIVE entries to the NVM
+  // shadow region with hardware copy-on-write; the home-address writes are
+  // issued when the owning transaction commits.
+  std::size_t i = tail_;
+  for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
+    Entry& e = entries_[i];
+    if (e.state != State::kActive) continue;
+    // Check the queue of the exact shadow line's channel: with a
+    // multi-channel NVM, different lines can route to different queues.
+    const Addr shadow_line =
+        line_of(space_.shadow_base(core_) + shadow_cursor_);
+    if (mem_->write_queue_full(shadow_line)) return;
+
+    auto rec = std::make_shared<Spill>();
+    rec->tx = e.tx;
+    rec->words = e.words;
+    rec->seq = e.seq;
+    spills_.push_back(rec);
+    stat_spills_->inc();
+
+    mem::MemRequest req;
+    req.op = mem::MemOp::kWrite;
+    req.line_addr = shadow_line;
+    shadow_cursor_ += kLineBytes;
+    req.persistent = true;
+    req.core = core_;
+    req.tx = e.tx;
+    req.source = mem::Source::kShadow;
+    // Shadow payload lands at shadow addresses: it must not overwrite home
+    // locations in the durable image (the transaction is uncommitted).
+    req.payload.assign(1, {word_of(req.line_addr), e.words.front().second});
+    req.on_complete = [rec](const mem::MemRequest&) { rec->shadow_done = true; };
+    const bool ok = mem_->enqueue(std::move(req), now);
+    NTC_ASSERT(ok, "NVM write queue checked before shadow spill");
+
+    active_lines_.erase(e.line);
+    e.state = State::kAvailable;
+    e.tx = kNoTx;
+    e.words.clear();
+    advance_tail_();
+    return;  // one spill per cycle
+  }
+}
+
+bool TxCache::issue_spill_home_(Cycle now, Spill& spill) {
+  const Addr line = line_of(spill.words.front().first);
+  if (mem_->write_queue_full(line)) return false;
+  mem::MemRequest req;
+  req.op = mem::MemOp::kWrite;
+  req.line_addr = line;
+  req.persistent = true;
+  req.core = core_;
+  req.tx = spill.tx;
+  req.source = mem::Source::kTxCache;
+  req.payload = spill.words;
+  // Shared ownership keeps the record alive past reaping.
+  std::shared_ptr<Spill> keep;
+  for (auto& s : spills_) {
+    if (s.get() == &spill) keep = s;
+  }
+  req.on_complete = [this, keep](const mem::MemRequest&) {
+    keep->home_done = true;
+    stat_acks_->inc();
+  };
+  const bool ok = mem_->enqueue(std::move(req), now);
+  NTC_ASSERT(ok, "NVM write queue checked before spill home write");
+  spill.home_issued = true;
+  return true;
+}
+
+void TxCache::tick(Cycle now) {
+  // Issue committed writes toward the NVM strictly in program (sequence)
+  // order, merging the ring with the overflow spill table. Committed items
+  // always carry lower sequence numbers than ACTIVE ones (transactions are
+  // sequential per core), so lowest-seq-first IS the paper's FIFO order.
+  unsigned issued = 0;
+  while (issued < cfg_.drain_per_cycle &&
+         (committed_unissued_ > 0 || committed_spills_ > 0)) {
+    // FIFO boundary: nothing may be issued past the oldest ACTIVE entry
+    // (§4.1 — committed lines are written back in FIFO = program order).
+    std::uint64_t min_active_seq = ~0ULL;
+    std::uint64_t best_seq = ~0ULL;
+    std::size_t best_idx = 0;
+    bool best_is_entry = false;
+    Spill* best_spill = nullptr;
+    std::size_t i = tail_;
+    for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
+      const Entry& e = entries_[i];
+      if (e.state == State::kActive) {
+        min_active_seq = std::min(min_active_seq, e.seq);
+      }
+      if (e.state == State::kCommitted && !e.issued && e.seq < best_seq) {
+        best_seq = e.seq;
+        best_idx = i;
+        best_is_entry = true;
+      }
+    }
+    for (auto& s : spills_) {
+      if (s->committed && !s->home_issued && s->seq < best_seq) {
+        best_seq = s->seq;
+        best_is_entry = false;
+        best_spill = s.get();
+      }
+    }
+    if (best_seq == ~0ULL) break;          // nothing committed to drain
+    if (best_seq > min_active_seq) break;  // would pass an active entry
+    if (best_is_entry) {
+      if (!issue_entry_(now, best_idx)) break;
+      --committed_unissued_;
+    } else {
+      // The copy-on-write shadow write must be durable before the home
+      // write may pass it in the pipeline.
+      if (!best_spill->shadow_done) break;
+      if (!issue_spill_home_(now, *best_spill)) break;
+      --committed_spills_;
+    }
+    ++issued;
+  }
+
+  if (overflow_imminent()) run_overflow_fallback_(now);
+
+  // Reap completed spill records (shadow written, home durable, committed).
+  while (!spills_.empty() && spills_.front()->committed &&
+         spills_.front()->home_done && spills_.front()->shadow_done) {
+    spills_.pop_front();
+  }
+}
+
+bool TxCache::drained() const {
+  std::size_t i = tail_;
+  for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
+    if (entries_[i].state == State::kCommitted) return false;
+  }
+  for (const auto& s : spills_) {
+    if (s->committed && !s->home_done) return false;
+  }
+  return true;
+}
+
+recovery::NtcSnapshot TxCache::snapshot() const {
+  // Merge ring entries and spill records in program (sequence) order —
+  // recovery replays oldest-first.
+  std::vector<std::pair<std::uint64_t, recovery::NtcEntrySnapshot>> items;
+  for (const auto& s : spills_) {
+    // A spill whose home write completed is already durable in NVM; newer
+    // same-address writes may have landed after it, so replaying it would
+    // roll the word back. It is logically freed (awaiting reap): skip it.
+    if (s->home_done) continue;
+    recovery::NtcEntrySnapshot e;
+    e.tx = s->tx;
+    // An uncommitted spill is discarded at recovery. A committed spill is
+    // recoverable: its home words live in the shadow region plus the
+    // nonvolatile spill table, both of which survive the crash.
+    e.committed = s->committed;
+    e.words = s->words;
+    items.emplace_back(s->seq, std::move(e));
+  }
+  std::size_t i = tail_;
+  for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
+    const Entry& en = entries_[i];
+    if (en.state == State::kAvailable) continue;
+    recovery::NtcEntrySnapshot e;
+    e.tx = en.tx;
+    e.committed = en.state == State::kCommitted;
+    e.words = en.words;
+    items.emplace_back(en.seq, std::move(e));
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  recovery::NtcSnapshot snap;
+  snap.reserve(items.size());
+  for (auto& [_, e] : items) snap.push_back(std::move(e));
+  return snap;
+}
+
+}  // namespace ntcsim::txcache

@@ -1,0 +1,138 @@
+// The paper's contribution (§3/§4.1): a per-core nonvolatile transaction
+// cache (NTC) implemented as a content-addressable FIFO (CAM-FIFO).
+//
+//  * Write requests from the CPU (TxID, address, value) are inserted at the
+//    head as ACTIVE entries. A cache-line entry holds the whole 64 B line,
+//    so same-line writes of the same open transaction coalesce in place;
+//    writes of *different* transactions to one line keep separate entries —
+//    that is the multi-versioning the recovery path relies on.
+//  * A commit request CAM-matches every entry with the TxID and moves it to
+//    COMMITTED. Committed entries are issued toward the NVM in FIFO
+//    (= program) order, which is the paper's write-order control.
+//  * The NVM controller acknowledges each completed persistent write; the
+//    ack CAM-matches the entry *nearest the tail* and frees it. The tail
+//    then advances over AVAILABLE entries (acks may complete out of order).
+//  * An LLC miss probe CAM-matches the entry *nearest the head* (newest
+//    value), because the LLC drops persistent write-backs and must not read
+//    stale NVM data.
+//  * Overflow fall-back (§4.1): when occupancy reaches the threshold
+//    (default 90 %), the oldest ACTIVE entries are spilled to a per-core
+//    NVM shadow region with hardware-controlled copy-on-write; their home
+//    writes are issued when the owning transaction commits.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+#include "recovery/recovery.hpp"
+
+namespace ntcsim::txcache {
+
+class TxCache {
+ public:
+  TxCache(std::string name, CoreId core, const TxCacheConfig& cfg,
+          const AddressSpace& space, mem::MemorySystem& mem, StatSet& stats);
+
+  /// CPU write request. Returns false when the FIFO is full or the CAM
+  /// port is still busy with the previous operation (one op per
+  /// latency_cycles) — the CPU retries; a full NTC is the only stall that
+  /// shows up at paper scale (§5.2).
+  bool write(Cycle now, Addr addr, Word value, TxId tx);
+
+  /// CPU commit request: CAM-match `tx`, ACTIVE -> COMMITTED. Non-blocking.
+  void commit(TxId tx);
+
+  /// LLC miss request: nearest-head CAM match over valid entries.
+  bool probe(Addr line_addr) const;
+
+  /// Acknowledgment message from the NVM controller.
+  void on_ack(Addr line_addr);
+
+  /// Issue committed entries toward the NVM in FIFO order; run the
+  /// overflow fall-back when nearly full. Call once per cycle.
+  void tick(Cycle now);
+
+  std::size_t occupancy() const { return count_; }
+  std::size_t capacity() const { return entries_.size(); }
+  bool full() const { return count_ == entries_.size(); }
+  /// The fall-back trip point (§4.1, "e.g., 90 % full").
+  bool overflow_imminent() const;
+
+  /// True when nothing remains to drain (active entries may remain).
+  bool drained() const;
+
+  /// Nonvolatile contents at crash time, oldest first, for recovery.
+  recovery::NtcSnapshot snapshot() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  enum class State : std::uint8_t { kAvailable, kActive, kCommitted };
+
+  struct Entry {
+    State state = State::kAvailable;
+    TxId tx = kNoTx;
+    Addr line = 0;
+    std::vector<std::pair<Addr, Word>> words;
+    bool issued = false;       ///< Sent to the NVM, awaiting its ack.
+    std::uint64_t seq = 0;     ///< Program-order sequence of the write.
+  };
+
+  /// Overflow fall-back record: lives in the NVM shadow region.
+  struct Spill {
+    TxId tx = kNoTx;
+    std::vector<std::pair<Addr, Word>> words;  ///< Home addresses.
+    bool committed = false;
+    bool home_issued = false;  ///< Home write sent to the NVM controller.
+    bool home_done = false;    ///< Home write acked (durable).
+    bool shadow_done = false;  ///< Shadow copy-on-write write acked.
+    std::uint64_t seq = 0;     ///< Inherited from the spilled entry.
+  };
+
+  std::size_t next_(std::size_t i) const { return (i + 1) % entries_.size(); }
+  void advance_tail_();
+  bool issue_entry_(Cycle now, std::size_t idx);
+  bool issue_spill_home_(Cycle now, Spill& spill);
+  void run_overflow_fallback_(Cycle now);
+
+  std::string name_;
+  CoreId core_;
+  TxCacheConfig cfg_;
+  AddressSpace space_;
+  mem::MemorySystem* mem_;
+
+  std::vector<Entry> entries_;
+  std::size_t head_ = 0;  ///< Next insertion slot.
+  std::size_t tail_ = 0;  ///< Oldest live entry.
+  std::size_t count_ = 0;
+
+  std::deque<std::shared_ptr<Spill>> spills_;
+  std::uint64_t shadow_cursor_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t committed_unissued_ = 0;   ///< Drain-scan fast path.
+  std::size_t committed_spills_ = 0;     ///< Spills awaiting home writes.
+  Cycle port_free_at_ = 0;               ///< CPU-side CAM port occupancy.
+  /// Open-transaction same-line coalescing index: line -> ring slot.
+  std::unordered_map<Addr, std::size_t> active_lines_;
+
+  Counter* stat_writes_;
+  Counter* stat_commits_;
+  Counter* stat_issued_;
+  Counter* stat_acks_;
+  Counter* stat_probe_hits_;
+  Counter* stat_probe_misses_;
+  Counter* stat_spills_;
+  Counter* stat_merges_;
+  Counter* stat_full_rejects_;
+  Counter* stat_port_busy_;
+};
+
+}  // namespace ntcsim::txcache

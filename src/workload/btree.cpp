@@ -1,0 +1,268 @@
+// btree — search/insert 64-bit key-value pairs in a B+tree-style block
+// index (Table 3). A CLRS B-tree of minimum degree t=4 (up to 7 keys and
+// 8 children per 192-byte node) executes on the host; key scans, shifts
+// and node splits emit their real load/store patterns.
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+
+constexpr int kT = 4;               // minimum degree
+constexpr int kMaxKeys = 2 * kT - 1;  // 7
+constexpr std::size_t kNodeBytes = 192;
+constexpr unsigned kOffHeader = 0;
+
+Addr key_off(int i) { return 8 + 8 * static_cast<Addr>(i); }
+Addr val_off(int i) { return 64 + 8 * static_cast<Addr>(i); }
+Addr child_off(int i) { return 120 + 8 * static_cast<Addr>(i); }
+
+struct BNode {
+  Addr a = 0;
+  bool leaf = true;
+  int n = 0;
+  Word keys[kMaxKeys] = {};
+  Word vals[kMaxKeys] = {};
+  BNode* ch[2 * kT] = {};
+};
+
+class BTree {
+ public:
+  BTree(TraceEmitter& em, SimHeap& heap, CoreId core)
+      : em_(&em), heap_(&heap), core_(core) {
+    root_slot_ = heap_->alloc(core_, kWordBytes, kWordBytes);
+    root_ = new_node(true);
+    em_->store(root_slot_, root_->a);
+  }
+
+  void insert(Word key, Word val) {
+    em_->load(root_slot_);
+    if (root_->n == kMaxKeys) {
+      BNode* s = new_node(false);
+      s->ch[0] = root_;
+      em_->store(s->a + child_off(0), root_->a);
+      split_child(s, 0);
+      em_->store(root_slot_, s->a);
+      root_ = s;
+    }
+    insert_nonfull(root_, key, val);
+    ++size_;
+  }
+
+  bool search(Word key) const {
+    em_->load(root_slot_);
+    const BNode* x = root_;
+    while (true) {
+      em_->load(x->a + kOffHeader);
+      int i = 0;
+      while (i < x->n) {
+        em_->load(x->a + key_off(i));
+        em_->compute(1);
+        if (key <= x->keys[i]) break;
+        ++i;
+      }
+      if (i < x->n && x->keys[i] == key) {
+        em_->load(x->a + val_off(i));
+        return true;
+      }
+      if (x->leaf) return false;
+      em_->load(x->a + child_off(i));
+      x = x->ch[i];
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+  void verify() const {
+    Word prev = 0;
+    bool first = true;
+    int leaf_depth = -1;
+    check(root_, 0, prev, first, leaf_depth, true);
+  }
+
+ private:
+  BNode* new_node(bool leaf) {
+    auto owned = std::make_unique<BNode>();
+    BNode* n = owned.get();
+    nodes_.push_back(std::move(owned));
+    n->a = heap_->alloc(core_, kNodeBytes, kLineBytes);
+    n->leaf = leaf;
+    em_->store(n->a + kOffHeader, leaf ? 1 : 0);
+    return n;
+  }
+
+  void store_header(BNode* x) {
+    em_->store(x->a + kOffHeader,
+               (static_cast<Word>(x->n) << 1) | (x->leaf ? 1 : 0));
+  }
+
+  /// Split the full child x->ch[i]; x is non-full.
+  void split_child(BNode* x, int i) {
+    BNode* y = x->ch[i];
+    BNode* z = new_node(y->leaf);
+    z->n = kT - 1;
+    // Upper t-1 keys/values move to z.
+    for (int j = 0; j < kT - 1; ++j) {
+      z->keys[j] = y->keys[j + kT];
+      z->vals[j] = y->vals[j + kT];
+      em_->load(y->a + key_off(j + kT));
+      em_->load(y->a + val_off(j + kT));
+      em_->store(z->a + key_off(j), z->keys[j]);
+      em_->store(z->a + val_off(j), z->vals[j]);
+    }
+    if (!y->leaf) {
+      for (int j = 0; j < kT; ++j) {
+        z->ch[j] = y->ch[j + kT];
+        em_->load(y->a + child_off(j + kT));
+        em_->store(z->a + child_off(j), z->ch[j]->a);
+      }
+    }
+    y->n = kT - 1;
+    store_header(y);
+    store_header(z);
+    // Shift x's children/keys right to make room.
+    for (int j = x->n; j >= i + 1; --j) {
+      x->ch[j + 1] = x->ch[j];
+      em_->store(x->a + child_off(j + 1), x->ch[j]->a);
+    }
+    x->ch[i + 1] = z;
+    em_->store(x->a + child_off(i + 1), z->a);
+    for (int j = x->n - 1; j >= i; --j) {
+      x->keys[j + 1] = x->keys[j];
+      x->vals[j + 1] = x->vals[j];
+      em_->store(x->a + key_off(j + 1), x->keys[j]);
+      em_->store(x->a + val_off(j + 1), x->vals[j]);
+    }
+    x->keys[i] = y->keys[kT - 1];
+    x->vals[i] = y->vals[kT - 1];
+    em_->store(x->a + key_off(i), x->keys[i]);
+    em_->store(x->a + val_off(i), x->vals[i]);
+    ++x->n;
+    store_header(x);
+  }
+
+  void insert_nonfull(BNode* x, Word key, Word val) {
+    em_->load(x->a + kOffHeader);
+    int i = x->n - 1;
+    if (x->leaf) {
+      while (i >= 0) {
+        em_->load(x->a + key_off(i));
+        em_->compute(1);
+        if (x->keys[i] <= key) break;
+        x->keys[i + 1] = x->keys[i];
+        x->vals[i + 1] = x->vals[i];
+        em_->store(x->a + key_off(i + 1), x->keys[i + 1]);
+        em_->store(x->a + val_off(i + 1), x->vals[i + 1]);
+        --i;
+      }
+      x->keys[i + 1] = key;
+      x->vals[i + 1] = val;
+      em_->store(x->a + key_off(i + 1), key);
+      em_->store(x->a + val_off(i + 1), val);
+      ++x->n;
+      store_header(x);
+      return;
+    }
+    while (i >= 0) {
+      em_->load(x->a + key_off(i));
+      em_->compute(1);
+      if (x->keys[i] <= key) break;
+      --i;
+    }
+    ++i;
+    em_->load(x->a + child_off(i));
+    if (x->ch[i]->n == kMaxKeys) {
+      split_child(x, i);
+      em_->load(x->a + key_off(i));
+      em_->compute(1);
+      if (key > x->keys[i]) ++i;
+    }
+    insert_nonfull(x->ch[i], key, val);
+  }
+
+  void check(const BNode* x, int depth, Word& prev, bool& first,
+             int& leaf_depth, bool is_root) const {
+    NTC_ASSERT(x->n <= kMaxKeys, "btree: node overfull");
+    if (!is_root) {
+      NTC_ASSERT(x->n >= kT - 1, "btree: node underfull");
+    }
+    if (x->leaf) {
+      if (leaf_depth < 0) leaf_depth = depth;
+      NTC_ASSERT(depth == leaf_depth, "btree: leaves at unequal depth");
+      for (int i = 0; i < x->n; ++i) {
+        NTC_ASSERT(first || prev <= x->keys[i], "btree: order violation");
+        prev = x->keys[i];
+        first = false;
+      }
+      return;
+    }
+    for (int i = 0; i < x->n; ++i) {
+      check(x->ch[i], depth + 1, prev, first, leaf_depth, false);
+      NTC_ASSERT(first || prev <= x->keys[i], "btree: order violation");
+      prev = x->keys[i];
+      first = false;
+    }
+    check(x->ch[x->n], depth + 1, prev, first, leaf_depth, false);
+  }
+
+  TraceEmitter* em_;
+  SimHeap* heap_;
+  CoreId core_;
+  Addr root_slot_ = 0;
+  BNode* root_ = nullptr;
+  std::vector<std::unique_ptr<BNode>> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+TraceBundle gen_btree(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                      recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0x165f + core);
+  // The constructor initializes the persistent root slot, so it must run
+  // inside a transaction.
+  em.begin_tx();
+  BTree tree(em, heap, core);
+  em.end_tx();
+  std::vector<Word> keys;
+
+  for (std::size_t i = 0; i < p.setup_elems;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch && i < p.setup_elems; ++b, ++i) {
+      const Word k = rng.next();
+      em.compute(kSetupComputePadding);
+      tree.insert(k, rng.next());
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    if (rng.below(100) < p.lookup_pct && !keys.empty()) {
+      const Word k =
+          rng.chance(1, 2) ? keys[rng.below(keys.size())] : rng.next();
+      tree.search(k);
+    } else {
+      const Word k = rng.next();
+      tree.insert(k, rng.next());
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  tree.verify();
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

@@ -1,0 +1,100 @@
+// graph — insert edges into an adjacency-list graph (Table 3). Each vertex
+// owns a singly linked edge list headed in a persistent vertex table; an
+// edge node is {to, weight, next} = 24 bytes. An insert transaction scans
+// the first few edges (duplicate check) and links at the front.
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+
+struct Edge {
+  Addr a = 0;
+  std::uint64_t to = 0;
+  Word weight = 0;
+  Edge* next = nullptr;
+};
+
+constexpr unsigned kOffTo = 0;
+constexpr unsigned kOffWeight = 8;
+constexpr unsigned kOffNext = 16;
+
+}  // namespace
+
+TraceBundle gen_graph(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                      recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0xc2b2 + core);
+  const std::size_t nv = p.setup_elems;
+  NTC_ASSERT(nv >= 2, "graph needs at least two vertices");
+
+  const Addr vtx = heap.alloc(core, nv * kWordBytes, kLineBytes);
+  std::vector<Edge*> heads(nv, nullptr);
+  std::vector<std::unique_ptr<Edge>> edges;
+  std::size_t edge_count = 0;
+
+  auto insert_edge = [&] {
+    const std::size_t src = rng.below(nv);
+    const std::size_t dst = rng.below(nv);
+    em.load(vtx + src * kWordBytes);
+    // Scan up to four existing edges (duplicate check pattern).
+    unsigned scanned = 0;
+    for (Edge* e = heads[src]; e != nullptr && scanned < 4; e = e->next) {
+      em.load(e->a + kOffTo);
+      em.compute(1);
+      em.load(e->a + kOffNext);
+      ++scanned;
+    }
+    auto edge = std::make_unique<Edge>();
+    edge->a = heap.alloc(core, 24);
+    edge->to = dst;
+    edge->weight = rng.next();
+    edge->next = heads[src];
+    em.store(edge->a + kOffTo, dst);
+    em.store(edge->a + kOffWeight, edge->weight);
+    em.store(edge->a + kOffNext, edge->next ? edge->next->a : 0);
+    em.store(vtx + src * kWordBytes, edge->a);
+    heads[src] = edge.get();
+    edges.push_back(std::move(edge));
+    ++edge_count;
+  };
+
+  // Setup: initialize vertex heads to null, then seed with edges.
+  for (std::size_t v = 0; v < nv;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch * 4 && v < nv; ++b, ++v) {
+      em.store(vtx + v * kWordBytes, 0);
+    }
+    em.end_tx();
+  }
+  const std::size_t seed_edges = 2 * nv;  // average degree 2 to start
+  for (std::size_t i = 0; i < seed_edges;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch && i < seed_edges; ++b, ++i) {
+      em.compute(kSetupComputePadding);
+      insert_edge();
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  // Measured phase: one edge insert per transaction.
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    insert_edge();
+    em.end_tx();
+  }
+
+  NTC_ASSERT(edge_count == seed_edges + p.ops, "graph edge accounting broken");
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

@@ -1,0 +1,158 @@
+// hashtable — search/insert 64-bit key-value pairs in a chained hash table
+// (Table 3). Node: {key, value, next} = 24 bytes in the persistent heap.
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+
+struct HNode {
+  Addr a = 0;
+  Word key = 0;
+  Word val = 0;
+  HNode* next = nullptr;
+};
+
+constexpr unsigned kOffKey = 0;
+constexpr unsigned kOffVal = 8;
+constexpr unsigned kOffNext = 16;
+
+class HashTable {
+ public:
+  HashTable(TraceEmitter& em, SimHeap& heap, CoreId core, std::size_t buckets)
+      : em_(&em), heap_(&heap), core_(core) {
+    // Round up to a power of two for mask hashing.
+    nbuckets_ = 1;
+    while (nbuckets_ < buckets) nbuckets_ <<= 1;
+    table_ = heap_->alloc(core_, nbuckets_ * kWordBytes, kLineBytes);
+    heads_.assign(nbuckets_, nullptr);
+  }
+
+  std::size_t bucket_of(Word key) const {
+    return (key * 0x9e3779b97f4a7c15ULL >> 32) & (nbuckets_ - 1);
+  }
+  Addr bucket_addr(std::size_t b) const { return table_ + b * kWordBytes; }
+
+  /// One insert transaction: hash, read head, link a new node at the front.
+  void insert(Word key, Word val) {
+    const std::size_t b = bucket_of(key);
+    em_->compute(1);  // hash
+    em_->load(bucket_addr(b));
+    auto node = std::make_unique<HNode>();
+    node->a = heap_->alloc(core_, 24);
+    node->key = key;
+    node->val = val;
+    node->next = heads_[b];
+    em_->store(node->a + kOffKey, key);
+    em_->store(node->a + kOffVal, val);
+    em_->store(node->a + kOffNext, node->next ? node->next->a : 0);
+    em_->store(bucket_addr(b), node->a);
+    heads_[b] = node.get();
+    nodes_.push_back(std::move(node));
+    ++size_;
+  }
+
+  /// One search transaction: walk the chain, comparing keys.
+  bool search(Word key) {
+    const std::size_t b = bucket_of(key);
+    em_->compute(1);
+    em_->load(bucket_addr(b));
+    for (HNode* n = heads_[b]; n != nullptr; n = n->next) {
+      em_->load(n->a + kOffKey);
+      em_->compute(1);
+      if (n->key == key) {
+        em_->load(n->a + kOffVal);
+        return true;
+      }
+      em_->load(n->a + kOffNext);
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Self-check: every inserted key is reachable in its chain.
+  void verify(const std::unordered_map<Word, Word>& oracle) const {
+    for (const auto& [key, val] : oracle) {
+      const HNode* n = heads_[bucket_of(key)];
+      while (n != nullptr && n->key != key) n = n->next;
+      NTC_ASSERT(n != nullptr, "hashtable lost a key");
+      NTC_ASSERT(n->val == val, "hashtable value mismatch");
+    }
+  }
+
+ private:
+  TraceEmitter* em_;
+  SimHeap* heap_;
+  CoreId core_;
+  std::size_t nbuckets_ = 0;
+  Addr table_ = 0;
+  std::vector<HNode*> heads_;
+  std::vector<std::unique_ptr<HNode>> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+TraceBundle gen_hashtable(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                          recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0x85eb + core);
+  HashTable ht(em, heap, core, p.setup_elems);
+  std::unordered_map<Word, Word> oracle;
+  std::vector<Word> keys;
+
+  auto fresh_key = [&] {
+    Word k;
+    do {
+      k = rng.next() | 1;  // nonzero
+    } while (oracle.count(k) != 0);
+    return k;
+  };
+
+  // Setup: batched inserts.
+  for (std::size_t i = 0; i < p.setup_elems;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch && i < p.setup_elems; ++b, ++i) {
+      const Word k = fresh_key();
+      const Word v = rng.next();
+      em.compute(kSetupComputePadding);
+      ht.insert(k, v);
+      oracle[k] = v;
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  // Measured phase: lookup_pct searches (hit half the time), rest inserts.
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    if (rng.below(100) < p.lookup_pct && !keys.empty()) {
+      const Word k = rng.chance(1, 2) ? keys[rng.below(keys.size())]
+                                      : (rng.next() | 1);
+      ht.search(k);
+    } else {
+      const Word k = fresh_key();
+      const Word v = rng.next();
+      ht.insert(k, v);
+      oracle[k] = v;
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  ht.verify(oracle);
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

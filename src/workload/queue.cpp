@@ -1,0 +1,106 @@
+// queue — persistent MPSC-style FIFO ring (extension beyond the paper's
+// Table 3): a producer/consumer log typical of storage-engine write paths.
+// Each operation is one transaction: enqueue writes a record and bumps the
+// head index; dequeue reads a record and bumps the tail index. The head
+// and tail words are the hottest persistent words in the suite — every
+// transaction rewrites one of them, which stresses same-line multi-
+// versioning in the NTC and same-address ordering at the controller.
+#include <array>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+
+constexpr std::size_t kRecordWords = 4;  // 32 B payload per queue record
+
+}  // namespace
+
+TraceBundle gen_queue(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                      recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0x51ed + core);
+  const std::size_t slots = p.setup_elems;
+  NTC_ASSERT(slots >= 4, "queue needs a few slots");
+
+  // Control block: head (enqueue index) and tail (dequeue index) words,
+  // deliberately on the same line (the classic layout mistake real
+  // persistent queues make — and a stress test for line-level versioning).
+  const Addr ctrl = heap.alloc(core, kLineBytes, kLineBytes);
+  const Addr ring = heap.alloc(core, slots * kRecordWords * kWordBytes,
+                               kLineBytes);
+  std::vector<std::array<Word, kRecordWords>> host(slots);
+  Word head = 0, tail = 0;
+
+  auto slot_addr = [&](Word index, std::size_t w) {
+    return ring + (index % slots) * kRecordWords * kWordBytes +
+           w * kWordBytes;
+  };
+
+  auto enqueue = [&] {
+    em.load(ctrl);      // head
+    em.load(ctrl + 8);  // tail (full check)
+    em.compute(2);
+    if (head - tail >= slots) return;  // full: drop (counted as a no-op tx)
+    for (std::size_t w = 0; w < kRecordWords; ++w) {
+      const Word v = rng.next();
+      host[head % slots][w] = v;
+      em.store(slot_addr(head, w), v);
+    }
+    ++head;
+    em.store(ctrl, head);
+  };
+
+  auto dequeue = [&] {
+    em.load(ctrl + 8);  // tail
+    em.load(ctrl);      // head (empty check)
+    em.compute(2);
+    if (tail == head) return;  // empty
+    for (std::size_t w = 0; w < kRecordWords; ++w) {
+      em.load(slot_addr(tail, w));
+    }
+    ++tail;
+    em.store(ctrl + 8, tail);
+  };
+
+  // Setup: initialize control words and pre-fill half the ring.
+  em.begin_tx();
+  em.store(ctrl, 0);
+  em.store(ctrl + 8, 0);
+  em.end_tx();
+  const std::size_t prefill = slots / 2;
+  for (std::size_t i = 0; i < prefill;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch && i < prefill; ++b, ++i) {
+      em.compute(kSetupComputePadding);
+      enqueue();
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  // Measured phase: mixed enqueue/dequeue, one per transaction. lookup_pct
+  // selects dequeues (reads dominate at high values).
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    if (rng.below(100) < p.lookup_pct) {
+      dequeue();
+    } else {
+      enqueue();
+    }
+    em.end_tx();
+  }
+
+  NTC_ASSERT(head >= tail && head - tail <= slots,
+             "queue indices out of sync");
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

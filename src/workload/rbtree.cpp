@@ -1,0 +1,311 @@
+// rbtree — search/insert in a red-black tree (Table 3). A full CLRS
+// red-black tree executes on the host; every simulated field access
+// (48-byte nodes: key, value, left, right, parent, color) is emitted into
+// the trace, so rebalancing rotations produce their real store pattern.
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+
+constexpr unsigned kOffKey = 0;
+constexpr unsigned kOffVal = 8;
+constexpr unsigned kOffLeft = 16;
+constexpr unsigned kOffRight = 24;
+constexpr unsigned kOffParent = 32;
+constexpr unsigned kOffColor = 40;
+constexpr std::size_t kNodeBytes = 48;
+
+struct RbNode {
+  Addr a = 0;
+  Word key = 0;
+  Word val = 0;
+  RbNode* left = nullptr;
+  RbNode* right = nullptr;
+  RbNode* parent = nullptr;
+  bool red = true;
+};
+
+class RbTree {
+ public:
+  RbTree(TraceEmitter& em, SimHeap& heap, CoreId core)
+      : em_(&em), heap_(&heap), core_(core) {
+    root_slot_ = heap_->alloc(core_, kWordBytes, kWordBytes);
+  }
+
+  void insert(Word key, Word val) {
+    auto owned = std::make_unique<RbNode>();
+    RbNode* z = owned.get();
+    nodes_.push_back(std::move(owned));
+    z->a = heap_->alloc(core_, kNodeBytes);
+    z->key = key;
+    z->val = val;
+
+    // BST descent.
+    RbNode* y = nullptr;
+    em_->load(root_slot_);
+    RbNode* x = root_;
+    while (x != nullptr) {
+      y = x;
+      em_->load(x->a + kOffKey);
+      em_->compute(1);
+      if (key < x->key) {
+        em_->load(x->a + kOffLeft);
+        x = x->left;
+      } else {
+        em_->load(x->a + kOffRight);
+        x = x->right;
+      }
+    }
+    z->parent = y;
+    em_->store(z->a + kOffKey, key);
+    em_->store(z->a + kOffVal, val);
+    em_->store(z->a + kOffLeft, 0);
+    em_->store(z->a + kOffRight, 0);
+    em_->store(z->a + kOffParent, y ? y->a : 0);
+    em_->store(z->a + kOffColor, 1);  // red
+    if (y == nullptr) {
+      set_root(z);
+    } else if (key < y->key) {
+      y->left = z;
+      em_->store(y->a + kOffLeft, z->a);
+    } else {
+      y->right = z;
+      em_->store(y->a + kOffRight, z->a);
+    }
+    fixup(z);
+    ++size_;
+  }
+
+  bool search(Word key) {
+    em_->load(root_slot_);
+    RbNode* x = root_;
+    while (x != nullptr) {
+      em_->load(x->a + kOffKey);
+      em_->compute(1);
+      if (key == x->key) {
+        em_->load(x->a + kOffVal);
+        return true;
+      }
+      if (key < x->key) {
+        em_->load(x->a + kOffLeft);
+        x = x->left;
+      } else {
+        em_->load(x->a + kOffRight);
+        x = x->right;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Red-black invariants + ordering; aborts the generator on violation.
+  void verify() const {
+    NTC_ASSERT(root_ == nullptr || !root_->red, "rbtree: root must be black");
+    Word prev = 0;
+    bool first = true;
+    check_inorder(root_, prev, first);
+    int bh = -1;
+    check_node(root_, 0, bh);
+  }
+
+ private:
+  void set_root(RbNode* n) {
+    root_ = n;
+    em_->store(root_slot_, n ? n->a : 0);
+  }
+
+  void set_color(RbNode* n, bool red) {
+    n->red = red;
+    em_->store(n->a + kOffColor, red ? 1 : 0);
+  }
+
+  bool is_red(const RbNode* n) const {
+    if (n == nullptr) return false;
+    em_->load(n->a + kOffColor);
+    return n->red;
+  }
+
+  void left_rotate(RbNode* x) {
+    em_->load(x->a + kOffRight);
+    RbNode* y = x->right;
+    NTC_ASSERT(y != nullptr, "rbtree: left rotation without right child");
+    em_->load(y->a + kOffLeft);
+    x->right = y->left;
+    em_->store(x->a + kOffRight, y->left ? y->left->a : 0);
+    if (y->left != nullptr) {
+      y->left->parent = x;
+      em_->store(y->left->a + kOffParent, x->a);
+    }
+    y->parent = x->parent;
+    em_->store(y->a + kOffParent, x->parent ? x->parent->a : 0);
+    if (x->parent == nullptr) {
+      set_root(y);
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+      em_->store(x->parent->a + kOffLeft, y->a);
+    } else {
+      x->parent->right = y;
+      em_->store(x->parent->a + kOffRight, y->a);
+    }
+    y->left = x;
+    em_->store(y->a + kOffLeft, x->a);
+    x->parent = y;
+    em_->store(x->a + kOffParent, y->a);
+  }
+
+  void right_rotate(RbNode* x) {
+    em_->load(x->a + kOffLeft);
+    RbNode* y = x->left;
+    NTC_ASSERT(y != nullptr, "rbtree: right rotation without left child");
+    em_->load(y->a + kOffRight);
+    x->left = y->right;
+    em_->store(x->a + kOffLeft, y->right ? y->right->a : 0);
+    if (y->right != nullptr) {
+      y->right->parent = x;
+      em_->store(y->right->a + kOffParent, x->a);
+    }
+    y->parent = x->parent;
+    em_->store(y->a + kOffParent, x->parent ? x->parent->a : 0);
+    if (x->parent == nullptr) {
+      set_root(y);
+    } else if (x == x->parent->right) {
+      x->parent->right = y;
+      em_->store(x->parent->a + kOffRight, y->a);
+    } else {
+      x->parent->left = y;
+      em_->store(x->parent->a + kOffLeft, y->a);
+    }
+    y->right = x;
+    em_->store(y->a + kOffRight, x->a);
+    x->parent = y;
+    em_->store(x->a + kOffParent, y->a);
+  }
+
+  void fixup(RbNode* z) {
+    while (z->parent != nullptr && is_red(z->parent)) {
+      RbNode* gp = z->parent->parent;
+      NTC_ASSERT(gp != nullptr, "rbtree: red parent without grandparent");
+      em_->load(z->parent->a + kOffParent);
+      if (z->parent == gp->left) {
+        em_->load(gp->a + kOffRight);
+        RbNode* uncle = gp->right;
+        if (is_red(uncle)) {
+          set_color(z->parent, false);
+          set_color(uncle, false);
+          set_color(gp, true);
+          z = gp;
+        } else {
+          if (z == z->parent->right) {
+            z = z->parent;
+            left_rotate(z);
+          }
+          set_color(z->parent, false);
+          set_color(z->parent->parent, true);
+          right_rotate(z->parent->parent);
+        }
+      } else {
+        em_->load(gp->a + kOffLeft);
+        RbNode* uncle = gp->left;
+        if (is_red(uncle)) {
+          set_color(z->parent, false);
+          set_color(uncle, false);
+          set_color(gp, true);
+          z = gp;
+        } else {
+          if (z == z->parent->left) {
+            z = z->parent;
+            right_rotate(z);
+          }
+          set_color(z->parent, false);
+          set_color(z->parent->parent, true);
+          left_rotate(z->parent->parent);
+        }
+      }
+    }
+    if (root_ != nullptr && root_->red) set_color(root_, false);
+  }
+
+  void check_inorder(const RbNode* n, Word& prev, bool& first) const {
+    if (n == nullptr) return;
+    check_inorder(n->left, prev, first);
+    NTC_ASSERT(first || prev <= n->key, "rbtree: inorder violation");
+    prev = n->key;
+    first = false;
+    check_inorder(n->right, prev, first);
+  }
+
+  /// Returns nothing; asserts equal black height and no red-red edges.
+  void check_node(const RbNode* n, int black_depth, int& black_height) const {
+    if (n == nullptr) {
+      if (black_height < 0) black_height = black_depth;
+      NTC_ASSERT(black_depth == black_height, "rbtree: black-height violation");
+      return;
+    }
+    if (n->red) {
+      NTC_ASSERT(n->left == nullptr || !n->left->red, "rbtree: red-red edge");
+      NTC_ASSERT(n->right == nullptr || !n->right->red, "rbtree: red-red edge");
+    }
+    const int d = black_depth + (n->red ? 0 : 1);
+    check_node(n->left, d, black_height);
+    check_node(n->right, d, black_height);
+  }
+
+  mutable TraceEmitter* em_;
+  SimHeap* heap_;
+  CoreId core_;
+  Addr root_slot_ = 0;
+  RbNode* root_ = nullptr;
+  std::vector<std::unique_ptr<RbNode>> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+TraceBundle gen_rbtree(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                       recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0x27d4 + core);
+  RbTree tree(em, heap, core);
+  std::vector<Word> keys;
+
+  for (std::size_t i = 0; i < p.setup_elems;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch && i < p.setup_elems; ++b, ++i) {
+      const Word k = rng.next();
+      em.compute(kSetupComputePadding);
+      tree.insert(k, rng.next());
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    if (rng.below(100) < p.lookup_pct && !keys.empty()) {
+      const Word k =
+          rng.chance(1, 2) ? keys[rng.below(keys.size())] : rng.next();
+      tree.search(k);
+    } else {
+      const Word k = rng.next();
+      tree.insert(k, rng.next());
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  tree.verify();
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

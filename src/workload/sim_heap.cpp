@@ -1,0 +1,44 @@
+#include "workload/sim_heap.hpp"
+
+#include "common/assert.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+Addr align_up(Addr a, std::size_t align) {
+  return (a + align - 1) & ~static_cast<Addr>(align - 1);
+}
+}  // namespace
+
+SimHeap::SimHeap(const AddressSpace& space, unsigned cores) : space_(space) {
+  NTC_ASSERT(cores > 0, "heap needs at least one core arena");
+  const std::uint64_t p_slice = space_.heap_bytes() / cores;
+  const std::uint64_t v_slice = space_.dram_bytes / cores;
+  for (unsigned c = 0; c < cores; ++c) {
+    p_base_.push_back(space_.heap_base() + c * p_slice);
+    p_cursor_.push_back(space_.heap_base() + c * p_slice);
+    p_end_.push_back(space_.heap_base() + (c + 1) * p_slice);
+    v_cursor_.push_back(c * v_slice);
+    v_end_.push_back((c + 1) * v_slice);
+  }
+}
+
+Addr SimHeap::alloc(CoreId core, std::size_t bytes, std::size_t align) {
+  Addr a = align_up(p_cursor_[core], align);
+  NTC_ASSERT(a + bytes <= p_end_[core], "persistent arena exhausted");
+  p_cursor_[core] = a + bytes;
+  return a;
+}
+
+Addr SimHeap::alloc_volatile(CoreId core, std::size_t bytes, std::size_t align) {
+  Addr a = align_up(v_cursor_[core], align);
+  NTC_ASSERT(a + bytes <= v_end_[core], "volatile arena exhausted");
+  v_cursor_[core] = a + bytes;
+  return a;
+}
+
+std::size_t SimHeap::persistent_used(CoreId core) const {
+  return static_cast<std::size_t>(p_cursor_[core] - p_base_[core]);
+}
+
+}  // namespace ntcsim::workload

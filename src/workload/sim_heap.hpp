@@ -1,0 +1,36 @@
+// Bump allocators over the simulated address space: a persistent heap in
+// the NVM region (p_malloc in Fig. 1) and a volatile heap in DRAM. Each
+// core gets a private arena, mirroring the NV-heaps benchmarks where every
+// core manipulates its own structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ntcsim::workload {
+
+class SimHeap {
+ public:
+  SimHeap(const AddressSpace& space, unsigned cores);
+
+  /// Allocate persistent memory (NVM region).
+  Addr alloc(CoreId core, std::size_t bytes, std::size_t align = 8);
+  /// Allocate volatile memory (DRAM region).
+  Addr alloc_volatile(CoreId core, std::size_t bytes, std::size_t align = 8);
+
+  std::size_t persistent_used(CoreId core) const;
+  const AddressSpace& space() const { return space_; }
+
+ private:
+  AddressSpace space_;
+  std::vector<Addr> p_cursor_;
+  std::vector<Addr> p_end_;
+  std::vector<Addr> v_cursor_;
+  std::vector<Addr> v_end_;
+  std::vector<Addr> p_base_;
+};
+
+}  // namespace ntcsim::workload

@@ -1,0 +1,186 @@
+// skiplist — search/insert in a persistent skip list (extension beyond the
+// paper's Table 3; skip lists are a staple of PM index designs because
+// inserts splice single pointers instead of rebalancing). Nodes are
+// variable-sized: {key, value, level, next[level]}; an insert walks down
+// the towers emitting a load per hop and splices with one store per level.
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+namespace {
+
+constexpr unsigned kMaxLevel = 12;
+constexpr unsigned kOffKey = 0;
+constexpr unsigned kOffVal = 8;
+constexpr unsigned kOffLevel = 16;
+Addr next_off(unsigned lvl) { return 24 + 8 * static_cast<Addr>(lvl); }
+
+struct SkipNode {
+  Addr a = 0;
+  Word key = 0;
+  Word val = 0;
+  unsigned level = 1;
+  SkipNode* next[kMaxLevel] = {};
+};
+
+class SkipList {
+ public:
+  SkipList(TraceEmitter& em, SimHeap& heap, CoreId core, Rng& rng)
+      : em_(&em), heap_(&heap), core_(core), rng_(&rng) {
+    head_ = new_node(0, 0, kMaxLevel);
+  }
+
+  void insert(Word key, Word val) {
+    SkipNode* update[kMaxLevel];
+    SkipNode* x = head_;
+    em_->load(head_->a + kOffLevel);
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      while (true) {
+        em_->load(x->a + next_off(static_cast<unsigned>(lvl)));
+        SkipNode* nx = x->next[lvl];
+        if (nx == nullptr) break;
+        em_->load(nx->a + kOffKey);
+        em_->compute(1);
+        if (nx->key >= key) break;
+        x = nx;
+      }
+      update[lvl] = x;
+    }
+
+    const unsigned level = random_level();
+    SkipNode* n = new_node(key, val, level);
+    em_->store(n->a + kOffKey, key);
+    em_->store(n->a + kOffVal, val);
+    em_->store(n->a + kOffLevel, level);
+    for (unsigned lvl = 0; lvl < level; ++lvl) {
+      n->next[lvl] = update[lvl]->next[lvl];
+      em_->store(n->a + next_off(lvl),
+                 n->next[lvl] ? n->next[lvl]->a : 0);
+      update[lvl]->next[lvl] = n;
+      em_->store(update[lvl]->a + next_off(lvl), n->a);
+    }
+    ++size_;
+  }
+
+  bool search(Word key) const {
+    const SkipNode* x = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      while (true) {
+        em_->load(x->a + next_off(static_cast<unsigned>(lvl)));
+        const SkipNode* nx = x->next[lvl];
+        if (nx == nullptr) break;
+        em_->load(nx->a + kOffKey);
+        em_->compute(1);
+        if (nx->key == key) {
+          em_->load(nx->a + kOffVal);
+          return true;
+        }
+        if (nx->key > key) break;
+        x = nx;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+
+  void verify() const {
+    // Level-0 order; each tower is a subsequence of level 0; sizes agree.
+    std::size_t count = 0;
+    Word prev = 0;
+    bool first = true;
+    for (const SkipNode* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      NTC_ASSERT(first || prev <= n->key, "skiplist: level-0 order violated");
+      prev = n->key;
+      first = false;
+      ++count;
+    }
+    NTC_ASSERT(count == size_, "skiplist: node count mismatch");
+    for (unsigned lvl = 1; lvl < kMaxLevel; ++lvl) {
+      Word p = 0;
+      bool f = true;
+      for (const SkipNode* n = head_->next[lvl]; n != nullptr;
+           n = n->next[lvl]) {
+        NTC_ASSERT(n->level > lvl, "skiplist: node linked above its level");
+        NTC_ASSERT(f || p <= n->key, "skiplist: tower order violated");
+        p = n->key;
+        f = false;
+      }
+    }
+  }
+
+ private:
+  SkipNode* new_node(Word key, Word val, unsigned level) {
+    auto owned = std::make_unique<SkipNode>();
+    SkipNode* n = owned.get();
+    nodes_.push_back(std::move(owned));
+    n->a = heap_->alloc(core_, 24 + 8 * level);
+    n->key = key;
+    n->val = val;
+    n->level = level;
+    return n;
+  }
+
+  unsigned random_level() {
+    unsigned lvl = 1;
+    while (lvl < kMaxLevel && rng_->chance(1, 4)) ++lvl;
+    return lvl;
+  }
+
+  mutable TraceEmitter* em_;
+  SimHeap* heap_;
+  CoreId core_;
+  Rng* rng_;
+  SkipNode* head_ = nullptr;
+  std::vector<std::unique_ptr<SkipNode>> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+TraceBundle gen_skiplist(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                         recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0x7a1c + core);
+  SkipList list(em, heap, core, rng);
+  std::vector<Word> keys;
+
+  for (std::size_t i = 0; i < p.setup_elems;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch && i < p.setup_elems; ++b, ++i) {
+      const Word k = rng.next();
+      em.compute(kSetupComputePadding);
+      list.insert(k, rng.next());
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    if (rng.below(100) < p.lookup_pct && !keys.empty()) {
+      const Word k =
+          rng.chance(1, 2) ? keys[rng.below(keys.size())] : rng.next();
+      list.search(k);
+    } else {
+      const Word k = rng.next();
+      list.insert(k, rng.next());
+      keys.push_back(k);
+    }
+    em.end_tx();
+  }
+
+  list.verify();
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

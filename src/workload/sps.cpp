@@ -1,0 +1,53 @@
+// sps — randomly swap elements in a persistent array (Table 3). Short
+// four-access transactions at the highest write intensity of the suite.
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/emitter.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::workload {
+
+TraceBundle gen_sps(const WorkloadParams& p, CoreId core, SimHeap& heap,
+                    recovery::Journal* journal) {
+  TraceEmitter em(core, heap.space(), journal);
+  Rng rng(p.seed * 0x9e37 + core);
+  const std::size_t n = p.setup_elems;
+  NTC_ASSERT(n >= 2, "sps needs at least two elements");
+
+  const Addr arr = heap.alloc(core, n * kWordBytes, kLineBytes);
+  std::vector<Word> host(n);
+
+  // Setup: initialize the array in batched transactions.
+  for (std::size_t i = 0; i < n;) {
+    em.begin_tx();
+    for (unsigned b = 0; b < p.setup_batch * 4 && i < n; ++b, ++i) {
+      host[i] = rng.next();
+      em.compute(kSetupComputePadding);
+      em.store(arr + i * kWordBytes, host[i]);
+    }
+    em.end_tx();
+  }
+
+  em.mark_measured_phase();
+
+  // Measured phase: one swap per transaction.
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    const std::size_t i = rng.below(n);
+    std::size_t j = rng.below(n);
+    if (j == i) j = (j + 1) % n;
+    em.begin_tx();
+    em.compute(p.compute_per_op);
+    em.load(arr + i * kWordBytes);
+    em.load(arr + j * kWordBytes);
+    em.compute(2);
+    em.store(arr + i * kWordBytes, host[j]);
+    em.store(arr + j * kWordBytes, host[i]);
+    em.end_tx();
+    std::swap(host[i], host[j]);
+  }
+  return TraceBundle{em.take_setup(), em.take_measured()};
+}
+
+}  // namespace ntcsim::workload

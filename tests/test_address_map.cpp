@@ -1,0 +1,64 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ntcsim::mem {
+namespace {
+
+TEST(AddressMap, ConsecutiveLinesRotateAcrossBanks) {
+  AddressMap m(4, 8, 8 << 10);
+  const BankCoord a = m.decode(0);
+  const BankCoord b = m.decode(64);
+  EXPECT_NE(m.flat_bank(a), m.flat_bank(b));  // line interleaving
+}
+
+TEST(AddressMap, StreamTouchesEveryBank) {
+  AddressMap m(4, 8, 8 << 10);
+  std::set<unsigned> banks;
+  for (Addr a = 0; a < 64ULL * 64; a += 64) {
+    banks.insert(m.flat_bank(m.decode(a)));
+  }
+  EXPECT_EQ(banks.size(), 32u);
+}
+
+TEST(AddressMap, BankStridedLinesShareARow) {
+  AddressMap m(4, 8, 8 << 10);
+  // Same bank repeats every total_banks lines; those lines share a row
+  // until row_lines of them accumulate.
+  const Addr stride = 64ULL * 32;  // same bank, next line in that bank
+  const BankCoord a = m.decode(0);
+  const BankCoord b = m.decode(stride);
+  EXPECT_EQ(m.flat_bank(a), m.flat_bank(b));
+  EXPECT_EQ(a.row, b.row);
+}
+
+TEST(AddressMap, RowAdvancesAfterRowLines) {
+  AddressMap m(1, 1, 8 << 10);  // single bank: rows are contiguous
+  EXPECT_EQ(m.decode(0).row, 0u);
+  EXPECT_EQ(m.decode((8ULL << 10) - 64).row, 0u);
+  EXPECT_EQ(m.decode(8ULL << 10).row, 1u);
+}
+
+TEST(AddressMap, FlatBankInRange) {
+  AddressMap m(4, 8, 8 << 10);
+  for (Addr a = 0; a < (1ULL << 22); a += 4096 + 64) {
+    EXPECT_LT(m.flat_bank(m.decode(a)), m.total_banks());
+  }
+}
+
+TEST(AddressMap, SingleBankDegenerate) {
+  AddressMap m(1, 1, 8 << 10);
+  EXPECT_EQ(m.total_banks(), 1u);
+  EXPECT_EQ(m.flat_bank(m.decode(123456)), 0u);
+}
+
+TEST(AddressMap, DistinctRowsDecodeDistinctly) {
+  AddressMap m(2, 4, 8 << 10);
+  const Addr big_stride = (8ULL << 10) * 8 * 4;  // beyond one row per bank
+  EXPECT_NE(m.decode(0).row, m.decode(big_stride).row);
+}
+
+}  // namespace
+}  // namespace ntcsim::mem

@@ -1,0 +1,69 @@
+#include "mem/bank.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::mem {
+namespace {
+
+DeviceTiming timing() {
+  DeviceTiming t;
+  t.row_hit = 10;
+  t.row_miss = 50;
+  t.write_extra = 20;
+  t.burst = 4;
+  return t;
+}
+
+TEST(Bank, FirstAccessIsRowMiss) {
+  const DeviceTiming t = timing();
+  Bank b(t);
+  EXPECT_TRUE(b.ready_at(0));
+  EXPECT_FALSE(b.row_hit(5));
+  EXPECT_EQ(b.access(0, 5, false), 50u);
+  EXPECT_FALSE(b.ready_at(49));
+  EXPECT_TRUE(b.ready_at(50));
+}
+
+TEST(Bank, SameRowHits) {
+  const DeviceTiming t = timing();
+  Bank b(t);
+  b.access(0, 5, false);
+  EXPECT_TRUE(b.row_hit(5));
+  EXPECT_EQ(b.access(50, 5, false), 60u);
+}
+
+TEST(Bank, DifferentRowMissesAgain) {
+  const DeviceTiming t = timing();
+  Bank b(t);
+  b.access(0, 5, false);
+  EXPECT_FALSE(b.row_hit(6));
+  EXPECT_EQ(b.access(50, 6, false), 100u);
+  EXPECT_EQ(b.open_row().value(), 6u);
+}
+
+TEST(Bank, WritesCostExtra) {
+  const DeviceTiming t = timing();
+  Bank b(t);
+  EXPECT_EQ(b.access(0, 1, true), 70u);   // miss + write_extra
+  EXPECT_EQ(b.access(70, 1, true), 100u); // hit + write_extra
+}
+
+TEST(Bank, AccessWhileBusyAborts) {
+  const DeviceTiming t = timing();
+  Bank b(t);
+  b.access(0, 1, false);
+  EXPECT_DEATH(b.access(10, 1, false), "busy");
+}
+
+TEST(Bank, SttramTimingsMatchTable2) {
+  const DeviceTiming t = DeviceTiming::sttram();
+  Bank b(t);
+  // 65 ns read at 2 GHz = 130 cycles array access on a row miss.
+  EXPECT_EQ(b.access(0, 0, false), 130u);
+  // Write adds 11 ns = 22 cycles.
+  Bank b2(t);
+  EXPECT_EQ(b2.access(0, 0, true), 152u);
+}
+
+}  // namespace
+}  // namespace ntcsim::mem

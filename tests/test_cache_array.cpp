@@ -1,0 +1,134 @@
+#include "cache/array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::cache {
+namespace {
+
+CacheConfig cfg_2way_4sets() {
+  // 2 ways x 4 sets x 64 B = 512 B.
+  return CacheConfig{512, 2, 1, 4, 4};
+}
+
+TEST(CacheArray, MissThenHit) {
+  CacheArray c(cfg_2way_4sets());
+  EXPECT_EQ(c.lookup(0), nullptr);
+  std::optional<Eviction> ev;
+  Line* l = c.allocate(0, ev);
+  ASSERT_NE(l, nullptr);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_NE(c.lookup(0), nullptr);
+}
+
+TEST(CacheArray, LruEvictsOldest) {
+  CacheArray c(cfg_2way_4sets());
+  // Set stride: 4 sets -> lines 0, 256, 512 map to set 0.
+  std::optional<Eviction> ev;
+  c.allocate(0, ev);
+  c.allocate(256, ev);
+  c.lookup(0);  // touch 0 so 256 is LRU
+  ev.reset();
+  c.allocate(512, ev);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 256u);
+  EXPECT_NE(c.lookup(0, false), nullptr);
+  EXPECT_EQ(c.lookup(256, false), nullptr);
+}
+
+TEST(CacheArray, EvictionCarriesState) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  Line* l = c.allocate(0, ev);
+  l->dirty = true;
+  l->persistent = true;
+  l->presence = 0b101;
+  c.allocate(256, ev);
+  ev.reset();
+  c.allocate(512, ev);  // evicts one of them; make 0 LRU
+  // (0 was allocated first and never touched again, so it is the victim.)
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0u);
+  EXPECT_TRUE(ev->dirty);
+  EXPECT_TRUE(ev->persistent);
+  EXPECT_EQ(ev->presence, 0b101u);
+}
+
+TEST(CacheArray, PinnedLinesAreNotEvicted) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  Line* a = c.allocate(0, ev);
+  a->pinned = true;
+  c.note_pin(true);
+  c.allocate(256, ev);
+  ev.reset();
+  c.allocate(512, ev);  // must evict 256, not pinned 0
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 256u);
+  EXPECT_NE(c.lookup(0, false), nullptr);
+}
+
+TEST(CacheArray, AllPinnedReturnsNull) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  for (Addr a : {0u, 256u}) {
+    Line* l = c.allocate(a, ev);
+    l->pinned = true;
+    c.note_pin(true);
+  }
+  EXPECT_EQ(c.pinned_count(), 2u);
+  ev.reset();
+  EXPECT_EQ(c.allocate(512, ev), nullptr);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(CacheArray, InvalidateReturnsStateAndClearsPin) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  Line* l = c.allocate(64, ev);
+  l->dirty = true;
+  l->pinned = true;
+  c.note_pin(true);
+  auto inv = c.invalidate(64);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(inv->dirty);
+  EXPECT_EQ(c.pinned_count(), 0u);
+  EXPECT_EQ(c.lookup(64, false), nullptr);
+  EXPECT_FALSE(c.invalidate(64).has_value());
+}
+
+TEST(CacheArray, SetsAreIndependent) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  // Fill set 0 and set 1; allocations in set 1 must not evict set 0.
+  c.allocate(0, ev);
+  c.allocate(256, ev);
+  c.allocate(64, ev);
+  c.allocate(320, ev);
+  ev.reset();
+  c.allocate(576, ev);  // set 1
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr % 256, 64u);  // victim came from set 1
+  EXPECT_NE(c.lookup(0, false), nullptr);
+  EXPECT_NE(c.lookup(256, false), nullptr);
+}
+
+TEST(CacheArray, DoubleAllocateAborts) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  c.allocate(0, ev);
+  EXPECT_DEATH(c.allocate(0, ev), "already-present");
+}
+
+TEST(CacheArray, ForEachValidVisitsAll) {
+  CacheArray c(cfg_2way_4sets());
+  std::optional<Eviction> ev;
+  c.allocate(0, ev);
+  c.allocate(64, ev);
+  c.allocate(128, ev);
+  int count = 0;
+  c.for_each_valid([&](Line&) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace ntcsim::cache

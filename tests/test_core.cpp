@@ -1,0 +1,300 @@
+#include "core/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::core {
+namespace {
+
+using sim::System;
+
+SystemConfig tiny(Mechanism mech) {
+  SystemConfig c = SystemConfig::tiny();
+  c.mechanism = mech;
+  return c;
+}
+
+Trace computes(std::size_t n) {
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) t.push(MicroOp::compute());
+  return t;
+}
+
+TEST(Core, ComputeIpcApproachesIssueWidth) {
+  System sys(tiny(Mechanism::kOptimal));
+  sys.load_trace(0, computes(4000));
+  sys.run();
+  const auto m = sys.metrics();
+  EXPECT_EQ(m.retired_uops, 4000u);
+  EXPECT_GT(m.ipc, 2.5);  // 4-wide minus pipeline-fill overhead
+  EXPECT_LE(m.ipc, 4.0);
+}
+
+TEST(Core, LoadMissStallsThePipeline) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  const Addr nvm = cfg.address_space.heap_base();
+  t.push(MicroOp::load(nvm, true));
+  for (int i = 0; i < 100; ++i) t.push(MicroOp::compute());
+  sys.load_trace(0, t);
+  sys.run();
+  // An STT-RAM row miss costs >130 cycles; 101 ops in far more cycles.
+  EXPECT_GT(sys.now(), 130u);
+  EXPECT_GT(sys.stats().counter_value("core0.stall.load"), 0u);
+}
+
+TEST(Core, StoreToLoadForwardingIsFast) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  const Addr a = cfg.address_space.heap_base();
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::store(a, 7, true));
+  t.push(MicroOp::load(a, true));  // forwarded from SB or ROB
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_DOUBLE_EQ(sys.stats().accumulator_mean("core0.load_latency"), 1.0);
+}
+
+TEST(Core, TxRegistersAssignSequentialIds) {
+  System sys(tiny(Mechanism::kOptimal));
+  Trace t;
+  for (TxId i = 1; i <= 3; ++i) {
+    t.push(MicroOp::tx_begin(i));
+    t.push(MicroOp::compute());
+    t.push(MicroOp::tx_end());
+  }
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.core(0).committed_txs(), 3u);
+  EXPECT_EQ(sys.metrics().committed_txs, 3u);
+}
+
+TEST(Core, NonMonotonicTraceTxIdAborts) {
+  System sys(tiny(Mechanism::kOptimal));
+  Trace t;
+  t.push(MicroOp::tx_begin(5));  // offset start is fine (trace replay)
+  t.push(MicroOp::tx_end());
+  t.push(MicroOp::tx_begin(3));  // going backwards is a generator bug
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  EXPECT_DEATH(sys.run(), "increasing");
+}
+
+TEST(Core, SfenceWaitsForStoreBuffer) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  t.push(MicroOp::tx_begin(1));
+  for (int i = 0; i < 8; ++i) {
+    t.push(MicroOp::store(cfg.address_space.heap_base() + i * 2048, i, true));
+  }
+  t.push(MicroOp::tx_end());
+  t.push(MicroOp::sfence());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_GT(sys.stats().counter_value("core0.stall.sfence"), 0u);
+}
+
+TEST(Core, TcStoresLandInTheNtc) {
+  SystemConfig cfg = tiny(Mechanism::kTc);
+  System sys(cfg);
+  Trace t;
+  const Addr a = cfg.address_space.heap_base();
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::store(a, 11, true));
+  t.push(MicroOp::store(a + 64, 12, true));
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.stats().counter_value("ntc0.writes"), 2u);
+  EXPECT_EQ(sys.stats().counter_value("ntc0.commits"), 1u);
+  // Commit drained to NVM: values durable.
+  EXPECT_EQ(sys.durable()->load(a), 11u);
+  EXPECT_EQ(sys.durable()->load(a + 64), 12u);
+}
+
+TEST(Core, TcVolatileStoresBypassNtc) {
+  SystemConfig cfg = tiny(Mechanism::kTc);
+  System sys(cfg);
+  Trace t;
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::store(64, 1, false));  // DRAM store inside a tx
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.stats().counter_value("ntc0.writes"), 0u);
+}
+
+TEST(Core, KilnCommitRunsTheEngine) {
+  SystemConfig cfg = tiny(Mechanism::kKiln);
+  System sys(cfg);
+  Trace t;
+  const Addr a = cfg.address_space.heap_base();
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::store(a, 42, true));
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.stats().counter_value("kiln.commits"), 1u);
+  EXPECT_EQ(sys.durable()->load(a), 42u);  // durable at the NV-LLC
+}
+
+TEST(Core, KilnBackToBackCommitsSerialize) {
+  SystemConfig cfg = tiny(Mechanism::kKiln);
+  System sys(cfg);
+  Trace t;
+  const Addr a = cfg.address_space.heap_base();
+  for (TxId i = 1; i <= 4; ++i) {
+    t.push(MicroOp::tx_begin(i));
+    t.push(MicroOp::store(a + i * 64, i, true));
+    t.push(MicroOp::tx_end());
+  }
+  sys.load_trace(0, t);
+  sys.run();
+  // The second TX_END must wait for the first background flush: commits
+  // are serialized per core.
+  EXPECT_GT(sys.stats().counter_value("core0.stall.txend_flush"), 0u);
+  EXPECT_EQ(sys.stats().counter_value("kiln.commits"), 4u);
+}
+
+TEST(Core, FinishedOnlyWhenEverythingDrains) {
+  SystemConfig cfg = tiny(Mechanism::kTc);
+  System sys(cfg);
+  Trace t;
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::store(cfg.address_space.heap_base(), 1, true));
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  sys.run_for(2);
+  EXPECT_FALSE(sys.finished());
+  sys.run();
+  EXPECT_TRUE(sys.finished());
+}
+
+TEST(Core, ClwbPcommitSequenceCompletes) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  const Addr a = cfg.address_space.heap_base();
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::store(a, 9, true));
+  t.push(MicroOp::tx_end());
+  // pcommit orders LOG flushes; data flushes drain lazily.
+  t.push(MicroOp::clwb(a, FlushKind::kLog));
+  t.push(MicroOp::sfence());
+  t.push(MicroOp::pcommit());
+  t.push(MicroOp::clwb(a, FlushKind::kData));  // lazy clean-back, no stall
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.stats().counter_value("nvm.writes.log"), 1u);
+  EXPECT_EQ(sys.durable()->load(a), 9u);
+  EXPECT_GT(sys.stats().counter_value("core0.stall.pcommit"), 0u);
+}
+
+TEST(Core, NtStoresCoalesceIntoOneLineWrite) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  const Addr log = cfg.address_space.log_base(0);
+  // Four words of one line, then one word of the next line: two flushes.
+  for (int i = 0; i < 4; ++i) t.push(MicroOp::ntstore(log + i * 8, i));
+  t.push(MicroOp::ntstore(log + 64, 99));
+  t.push(MicroOp::sfence());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.stats().counter_value("nvm.writes.log"), 2u);
+  // Payload carried all four words of the first line.
+  EXPECT_EQ(sys.durable()->load(log), 0u);
+  EXPECT_EQ(sys.durable()->load(log + 8), 1u);
+  EXPECT_EQ(sys.durable()->load(log + 24), 3u);
+  EXPECT_EQ(sys.durable()->load(log + 64), 99u);
+}
+
+TEST(Core, NtStoreBypassesCaches) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  const Addr log = cfg.address_space.log_base(0);
+  t.push(MicroOp::ntstore(log, 1));
+  t.push(MicroOp::sfence());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_EQ(sys.stats().counter_value("l1.hits") +
+                sys.stats().counter_value("l1.misses"),
+            0u);
+  EXPECT_EQ(sys.hierarchy().l1(0).peek(line_of(log)), nullptr);
+}
+
+TEST(Core, TrailingWcLineFlushesWithoutFence) {
+  // No sfence after the last ntstore: the WC timeout flushes it so the run
+  // still drains (regression test for a real deadlock).
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  System sys(cfg);
+  Trace t;
+  t.push(MicroOp::ntstore(cfg.address_space.log_base(0), 42));
+  sys.load_trace(0, t);
+  sys.run(200000);
+  EXPECT_TRUE(sys.finished());
+  EXPECT_EQ(sys.durable()->load(cfg.address_space.log_base(0)), 42u);
+}
+
+TEST(Core, StoreBufferFullStallsRetirement) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  cfg.core.store_buffer_entries = 2;
+  System sys(cfg);
+  Trace t;
+  t.push(MicroOp::tx_begin(1));
+  // Misses to distinct lines drain slowly; a 2-entry SB must stall.
+  for (int i = 0; i < 12; ++i) {
+    t.push(MicroOp::store(cfg.address_space.heap_base() + i * 4096, i, true));
+  }
+  t.push(MicroOp::tx_end());
+  sys.load_trace(0, t);
+  sys.run();
+  EXPECT_GT(sys.stats().counter_value("core0.stall.sb_full"), 0u);
+}
+
+TEST(Core, RobFillsOnLongLatencyLoadButKeepsFetching) {
+  SystemConfig cfg = tiny(Mechanism::kOptimal);
+  cfg.core.rob_entries = 8;
+  System sys(cfg);
+  Trace t;
+  t.push(MicroOp::load(cfg.address_space.heap_base(), true));
+  for (int i = 0; i < 64; ++i) t.push(MicroOp::compute());
+  sys.load_trace(0, t);
+  sys.run();
+  // All 65 ops retired despite the 8-entry window.
+  EXPECT_EQ(sys.metrics().retired_uops, 65u);
+}
+
+TEST(Core, SpAdrSkipsPcommitStalls) {
+  // The same workload under SP and SP-ADR: ADR must never stall on
+  // pcommit (none are emitted) and must finish faster.
+  auto run_mech = [](Mechanism mech) {
+    SystemConfig cfg = tiny(mech);
+    workload::WorkloadParams p =
+        workload::default_params(WorkloadKind::kSps);
+    p.setup_elems = 500;
+    p.ops = 200;
+    p.compute_per_op = 16;
+    workload::SimHeap heap(cfg.address_space, 1);
+    System sys(cfg);
+    sys.load_trace(0, workload::generate(p, 0, heap, nullptr));
+    sys.run();
+    return std::pair<Cycle, std::uint64_t>(
+        sys.now(), sys.stats().counter_value("core0.stall.pcommit"));
+  };
+  const auto [sp_cycles, sp_pcommit] = run_mech(Mechanism::kSp);
+  const auto [adr_cycles, adr_pcommit] = run_mech(Mechanism::kSpAdr);
+  EXPECT_GT(sp_pcommit, 0u);
+  EXPECT_EQ(adr_pcommit, 0u);
+  EXPECT_LT(adr_cycles, sp_cycles);
+}
+
+}  // namespace
+}  // namespace ntcsim::core

@@ -1,0 +1,215 @@
+// Crash-injection property tests: interrupt a run at many points, run the
+// mechanism's recovery procedure over what is durable, and check the
+// atomicity contract against the oracle journal. TC/SP/Kiln must be
+// consistent at EVERY crash point; Optimal (no persistence support) and the
+// unordered SP variant of Fig. 2(c) are the negative controls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "recovery/recovery.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::sim {
+namespace {
+
+SystemConfig crash_cfg(Mechanism mech) {
+  // Single core with very small caches so evictions (the crash hazard for
+  // software schemes) happen constantly.
+  SystemConfig c = SystemConfig::tiny();
+  c.mechanism = mech;
+  c.ntc.size_bytes = 1 << 10;  // 16 entries: overflow path gets exercised too
+  return c;
+}
+
+struct CrashRun {
+  recovery::Journal journal{1};
+  std::unique_ptr<System> sys;
+  std::size_t violations = 0;
+  std::size_t checks = 0;
+  bool expect_consistent = true;  ///< Report violations as test failures.
+};
+
+CrashRun make_run(Mechanism mech, WorkloadKind wl, std::uint64_t seed,
+                  bool sp_ordered = true) {
+  CrashRun run;
+  SystemConfig cfg = crash_cfg(mech);
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  workload::WorkloadParams p = workload::default_params(wl);
+  // Footprint must exceed the tiny 4 KB LLC so dirty evictions — the crash
+  // hazard software schemes must survive — actually happen.
+  p.setup_elems = wl == WorkloadKind::kSps ? 2000 : 300;
+  p.ops = 200;
+  p.seed = seed;
+  SystemOptions opts;
+  opts.sp_ordered = sp_ordered;
+  run.sys = std::make_unique<System>(cfg, opts);
+  run.sys->load_trace(0, workload::generate(p, 0, heap, &run.journal));
+  return run;
+}
+
+/// Crash every `interval` cycles and check atomicity; returns the run with
+/// the violation count filled in.
+void crash_sweep(CrashRun& run, Cycle interval) {
+  while (!run.sys->run_for(interval)) {
+    const recovery::WordImage img = run.sys->crash_and_recover();
+    const auto report = recovery::check_atomicity(img, run.journal);
+    ++run.checks;
+    if (!report.consistent) {
+      ++run.violations;
+      if (run.expect_consistent) {
+        ADD_FAILURE() << "crash at cycle " << run.sys->now() << ": "
+                      << report.violation;
+      }
+    }
+  }
+  // Also check the final (fully drained) state.
+  const auto report =
+      recovery::check_atomicity(run.sys->crash_and_recover(), run.journal);
+  ++run.checks;
+  if (!report.consistent) ++run.violations;
+}
+
+using Case = std::tuple<Mechanism, WorkloadKind>;
+
+class CrashConsistency : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrashConsistency, AtomicAtEveryCrashPoint) {
+  const auto [mech, wl] = GetParam();
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    CrashRun run = make_run(mech, wl, seed);
+    crash_sweep(run, 1500);
+    EXPECT_GT(run.checks, 5u) << "sweep too short to be meaningful";
+    EXPECT_EQ(run.violations, 0u)
+        << to_string(mech) << "/" << to_string(wl) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, CrashConsistency,
+    ::testing::Combine(::testing::Values(Mechanism::kTc, Mechanism::kSp,
+                                         Mechanism::kKiln, Mechanism::kSpAdr),
+                       ::testing::Values(WorkloadKind::kSps,
+                                         WorkloadKind::kHashtable,
+                                         WorkloadKind::kRbtree,
+                                         WorkloadKind::kBtree,
+                                         WorkloadKind::kGraph,
+                                         WorkloadKind::kQueue,
+                                         WorkloadKind::kSkiplist)),
+    [](const auto& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_" +
+                         std::string(to_string(std::get<1>(info.param)));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(CrashNegativeControl, OptimalLosesAtomicity) {
+  // Without persistence support, some crash point must expose a partially
+  // durable transaction (Fig. 2a): that is the paper's motivation.
+  std::size_t total_violations = 0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    CrashRun run = make_run(Mechanism::kOptimal, WorkloadKind::kSps, seed);
+    run.expect_consistent = false;
+    crash_sweep(run, 1500);
+    total_violations += run.violations;
+  }
+  EXPECT_GT(total_violations, 0u)
+      << "native execution accidentally looked crash-consistent; the "
+         "negative control lost its teeth";
+}
+
+TEST(CrashNegativeControl, UnorderedSpLosesAtomicity) {
+  // Fig. 2(c): logging without write-order control is unrecoverable.
+  std::size_t total_violations = 0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    CrashRun run = make_run(Mechanism::kSp, WorkloadKind::kSps, seed,
+                            /*sp_ordered=*/false);
+    run.expect_consistent = false;
+    crash_sweep(run, 1500);
+    total_violations += run.violations;
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+class TcCapacityCrash : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcCapacityCrash, ConsistencyHoldsAtEveryCapacity) {
+  // The overflow fall-back (hardware copy-on-write) must be as crash-safe
+  // as the ring itself: sweep NTC sizes from pathological to paper-default.
+  CrashRun run;
+  SystemConfig cfg = crash_cfg(Mechanism::kTc);
+  cfg.ntc.size_bytes = GetParam();
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  workload::WorkloadParams p = workload::default_params(WorkloadKind::kSps);
+  p.setup_elems = 2000;
+  p.ops = 150;
+  p.seed = 5;
+  run.sys = std::make_unique<System>(cfg);
+  run.sys->load_trace(0, workload::generate(p, 0, heap, &run.journal));
+  crash_sweep(run, 2000);
+  EXPECT_EQ(run.violations, 0u)
+      << "NTC size " << GetParam() << " B broke crash atomicity";
+}
+
+INSTANTIATE_TEST_SUITE_P(NtcSizes, TcCapacityCrash,
+                         ::testing::Values(256, 512, 1024, 4096),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "B";
+                         });
+
+TEST(CrashRecovery, TcFinalStateEqualsFullReplay) {
+  CrashRun run = make_run(Mechanism::kTc, WorkloadKind::kSps, 9);
+  run.sys->run();
+  const recovery::WordImage img = run.sys->crash_and_recover();
+  const auto report = recovery::check_atomicity(img, run.journal);
+  ASSERT_TRUE(report.consistent) << report.violation;
+  // After a drained run, EVERY transaction is durable.
+  EXPECT_EQ(report.durable_tx_prefix[0], run.journal.per_core(0).size());
+}
+
+TEST(CrashRecovery, SpFinalStateEqualsFullReplay) {
+  CrashRun run = make_run(Mechanism::kSp, WorkloadKind::kHashtable, 9);
+  run.sys->run();
+  const auto report =
+      recovery::check_atomicity(run.sys->crash_and_recover(), run.journal);
+  ASSERT_TRUE(report.consistent) << report.violation;
+  EXPECT_EQ(report.durable_tx_prefix[0], run.journal.per_core(0).size());
+}
+
+TEST(CrashRecovery, KilnFinalStateEqualsFullReplay) {
+  CrashRun run = make_run(Mechanism::kKiln, WorkloadKind::kRbtree, 9);
+  run.sys->run();
+  const auto report =
+      recovery::check_atomicity(run.sys->crash_and_recover(), run.journal);
+  ASSERT_TRUE(report.consistent) << report.violation;
+  EXPECT_EQ(report.durable_tx_prefix[0], run.journal.per_core(0).size());
+}
+
+TEST(CrashRecovery, MultiCoreTcConsistency) {
+  SystemConfig cfg = crash_cfg(Mechanism::kTc);
+  cfg.cores = 2;
+  recovery::Journal journal(2);
+  workload::SimHeap heap(cfg.address_space, cfg.cores);
+  workload::WorkloadParams p = workload::default_params(WorkloadKind::kSps);
+  p.setup_elems = 120;
+  p.ops = 150;
+  System sys(cfg);
+  for (CoreId c = 0; c < 2; ++c) {
+    sys.load_trace(c, workload::generate(p, c, heap, &journal));
+  }
+  std::size_t violations = 0;
+  while (!sys.run_for(2000)) {
+    if (!recovery::check_atomicity(sys.crash_and_recover(), journal)
+             .consistent) {
+      ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+}
+
+}  // namespace
+}  // namespace ntcsim::sim

@@ -1,0 +1,88 @@
+// Bit-exact determinism: the same configuration and seed must produce the
+// same cycle counts, traffic, and durable state on every run — the
+// property every regression comparison and the trace-replay workflow rely
+// on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace_io.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::sim {
+namespace {
+
+Metrics run_once(Mechanism mech) {
+  SystemConfig cfg = SystemConfig::tiny();
+  cfg.mechanism = mech;
+  workload::WorkloadParams p = workload::default_params(WorkloadKind::kBtree);
+  p.setup_elems = 400;
+  p.ops = 150;
+  p.seed = 17;
+  p.compute_per_op = 24;
+  workload::SimHeap heap(cfg.address_space, 1);
+  System sys(cfg);
+  sys.load_trace(0, workload::generate(p, 0, heap, nullptr));
+  sys.run();
+  return sys.metrics();
+}
+
+class Determinism : public ::testing::TestWithParam<Mechanism> {};
+
+TEST_P(Determinism, RepeatedRunsAreBitExact) {
+  const Metrics a = run_once(GetParam());
+  const Metrics b = run_once(GetParam());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.retired_uops, b.retired_uops);
+  EXPECT_EQ(a.committed_txs, b.committed_txs);
+  EXPECT_EQ(a.nvm_writes, b.nvm_writes);
+  EXPECT_EQ(a.nvm_reads, b.nvm_reads);
+  EXPECT_DOUBLE_EQ(a.llc_miss_rate, b.llc_miss_rate);
+  EXPECT_DOUBLE_EQ(a.pload_latency, b.pload_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, Determinism,
+                         ::testing::Values(Mechanism::kOptimal, Mechanism::kTc,
+                                           Mechanism::kSp, Mechanism::kKiln,
+                                           Mechanism::kSpAdr),
+                         [](const auto& info) {
+                           std::string n(to_string(info.param));
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Determinism, ReplayedTraceMatchesLiveTrace) {
+  SystemConfig cfg = SystemConfig::tiny();
+  cfg.mechanism = Mechanism::kTc;
+  workload::WorkloadParams p = workload::default_params(WorkloadKind::kSps);
+  p.setup_elems = 500;
+  p.ops = 120;
+  p.compute_per_op = 16;
+
+  workload::SimHeap heap(cfg.address_space, 1);
+  core::Trace live = workload::generate(p, 0, heap, nullptr);
+
+  // Serialize and reload through the binary format.
+  std::stringstream ss;
+  ASSERT_TRUE(core::write_trace(ss, live).ok);
+  core::Trace replayed;
+  ASSERT_TRUE(core::read_trace(ss, replayed).ok);
+
+  System a(cfg);
+  a.load_trace(0, std::move(live));
+  a.run();
+  System b(cfg);
+  b.load_trace(0, std::move(replayed));
+  b.run();
+
+  EXPECT_EQ(a.metrics().cycles, b.metrics().cycles);
+  EXPECT_EQ(a.metrics().nvm_writes, b.metrics().nvm_writes);
+  EXPECT_EQ(a.stats().counter_value("llc.misses"),
+            b.stats().counter_value("llc.misses"));
+}
+
+}  // namespace
+}  // namespace ntcsim::sim

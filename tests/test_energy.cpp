@@ -1,0 +1,81 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::sim {
+namespace {
+
+StatSet sample_stats() {
+  StatSet s;
+  s.counter("l1.hits").inc(1000);
+  s.counter("l1.misses").inc(100);
+  s.counter("l2.hits").inc(60);
+  s.counter("l2.misses").inc(40);
+  s.counter("llc.hits").inc(30);
+  s.counter("llc.misses").inc(10);
+  s.counter("llc.writebacks").inc(5);
+  s.counter("nvm.reads").inc(10);
+  s.counter("nvm.writes").inc(20);
+  s.counter("dram.reads").inc(4);
+  s.counter("dram.writes").inc(2);
+  s.counter("dram.refreshes").inc(3);
+  s.counter("ntc0.writes").inc(50);
+  s.counter("ntc0.issued").inc(50);
+  s.counter("ntc0.acks").inc(50);
+  return s;
+}
+
+TEST(Energy, BreakdownSumsToTotal) {
+  const StatSet s = sample_stats();
+  const EnergyBreakdown e = estimate_energy(s, 1, false, 10);
+  EXPECT_GT(e.total_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_nj, e.l1_nj + e.l2_nj + e.llc_nj + e.ntc_nj +
+                                   e.dram_nj + e.nvm_nj);
+  EXPECT_DOUBLE_EQ(e.per_tx_nj, e.total_nj / 10.0);
+}
+
+TEST(Energy, NvmWritesDominateWithDefaultParams) {
+  StatSet s;
+  s.counter("nvm.reads").inc(100);
+  s.counter("nvm.writes").inc(100);
+  const EnergyBreakdown e = estimate_energy(s, 1, false, 1);
+  // STT-RAM write energy >> read energy.
+  EXPECT_GT(e.nvm_nj, 100 * 30.0);
+}
+
+TEST(Energy, KilnLlcUsesSttramEnergies) {
+  StatSet s;
+  s.counter("llc.hits").inc(100);
+  s.counter("llc.writebacks").inc(100);
+  const EnergyBreakdown sram = estimate_energy(s, 1, false, 1);
+  const EnergyBreakdown sttram = estimate_energy(s, 1, true, 1);
+  EXPECT_NE(sram.llc_nj, sttram.llc_nj);
+  // STT-RAM writes cost more than SRAM accesses with the defaults.
+  EXPECT_GT(sttram.llc_nj, sram.llc_nj);
+}
+
+TEST(Energy, NtcEventsCountedAcrossCores) {
+  StatSet s;
+  s.counter("ntc0.writes").inc(10);
+  s.counter("ntc1.writes").inc(10);
+  const EnergyBreakdown one = estimate_energy(s, 1, false, 1);
+  const EnergyBreakdown two = estimate_energy(s, 2, false, 1);
+  EXPECT_DOUBLE_EQ(two.ntc_nj, 2 * one.ntc_nj);
+}
+
+TEST(Energy, ZeroTxsMeansZeroPerTx) {
+  const EnergyBreakdown e = estimate_energy(sample_stats(), 1, false, 0);
+  EXPECT_DOUBLE_EQ(e.per_tx_nj, 0.0);
+}
+
+TEST(Energy, CustomParamsRespected) {
+  StatSet s;
+  s.counter("nvm.writes").inc(1);
+  EnergyParams p;
+  p.nvm_line_write = 100.0;
+  const EnergyBreakdown e = estimate_energy(s, 1, false, 1, p);
+  EXPECT_DOUBLE_EQ(e.nvm_nj, 100.0);
+}
+
+}  // namespace
+}  // namespace ntcsim::sim

@@ -1,0 +1,87 @@
+#include "common/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntcsim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] { order.push_back(10); });
+  q.schedule_at(5, [&] { order.push_back(5); });
+  q.schedule_at(7, [&] { order.push_back(7); });
+  q.drain_until(20);
+  EXPECT_EQ(order, (std::vector<int>{5, 7, 10}));
+}
+
+TEST(EventQueue, SameCycleFiresInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule_at(3, [&order, i] { order.push_back(i); });
+  }
+  q.drain_until(3);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, DrainStopsAtNow) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(5, [&] { ++fired; });
+  q.schedule_at(6, [&] { ++fired; });
+  q.drain_until(5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_cycle(), 6u);
+  q.drain_until(6);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMayScheduleForSameCycle) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(4, [&] {
+    ++fired;
+    q.schedule_at(4, [&] { ++fired; });
+  });
+  q.drain_until(4);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackChainAcrossCycles) {
+  EventQueue q;
+  std::vector<Cycle> fire_times;
+  std::function<void(Cycle)> chain = [&](Cycle at) {
+    fire_times.push_back(at);
+    if (at < 5) {
+      q.schedule_at(at + 1, [&chain, at] { chain(at + 1); });
+    }
+  };
+  q.schedule_at(1, [&] { chain(1); });
+  for (Cycle c = 0; c <= 10; ++c) q.drain_until(c);
+  EXPECT_EQ(fire_times, (std::vector<Cycle>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  q.schedule_at(1, [] {});
+  q.schedule_at(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ZeroCycleEvent) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(0, [&] { fired = true; });
+  q.drain_until(0);
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace ntcsim

@@ -1,0 +1,79 @@
+#include "recovery/images.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::recovery {
+namespace {
+
+TEST(WordImage, StoreLoadRoundTrip) {
+  WordImage img;
+  img.store(64, 0xDEAD);
+  EXPECT_EQ(img.load(64), 0xDEADu);
+  EXPECT_EQ(img.load(72), 0u);
+  EXPECT_TRUE(img.contains(64));
+  EXPECT_FALSE(img.contains(72));
+}
+
+TEST(WordImage, UnalignedStoreAborts) {
+  WordImage img;
+  EXPECT_DEATH(img.store(65, 1), "word-aligned");
+}
+
+TEST(WordImage, WordsInLineReturnsOnlyThatLine) {
+  WordImage img;
+  img.store(64, 1);
+  img.store(72, 2);
+  img.store(128, 3);  // next line
+  const auto words = img.words_in_line(64);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0].first, 64u);
+  EXPECT_EQ(words[0].second, 1u);
+  EXPECT_EQ(words[1].first, 72u);
+  EXPECT_EQ(words[1].second, 2u);
+  EXPECT_TRUE(img.words_in_line(256).empty());
+}
+
+TEST(WordImage, OverwriteKeepsLatest) {
+  WordImage img;
+  img.store(0, 1);
+  img.store(0, 2);
+  EXPECT_EQ(img.load(0), 2u);
+  EXPECT_EQ(img.words_in_line(0).size(), 1u);
+}
+
+TEST(WordImage, ForEachVisitsAllWords) {
+  WordImage img;
+  img.store(0, 1);
+  img.store(8, 2);
+  img.store(1024, 3);
+  int count = 0;
+  Word sum = 0;
+  img.for_each([&](Addr, Word w) {
+    ++count;
+    sum += w;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6u);
+}
+
+TEST(DurableState, AppliesWritePayload) {
+  StatSet stats;
+  DurableState d(stats);
+  mem::MemRequest req;
+  req.payload = {{64, 5}, {72, 6}};
+  d.on_nvm_write(req);
+  EXPECT_EQ(d.load(64), 5u);
+  EXPECT_EQ(d.load(72), 6u);
+  EXPECT_EQ(stats.counter_value("durable.words_written"), 2u);
+}
+
+TEST(DurableState, KilnCommitApplies) {
+  StatSet stats;
+  DurableState d(stats);
+  d.apply_kiln_commit({{128, 9}, {136, 10}});
+  EXPECT_EQ(d.load(128), 9u);
+  EXPECT_EQ(d.load(136), 10u);
+}
+
+}  // namespace
+}  // namespace ntcsim::recovery

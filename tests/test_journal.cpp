@@ -1,0 +1,53 @@
+#include "recovery/journal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::recovery {
+namespace {
+
+TEST(Journal, RecordsPerCoreInOrder) {
+  Journal j(2);
+  j.begin_tx(0, 1);
+  j.write(0, 100, 1);
+  j.write(0, 108, 2);
+  j.end_tx(0);
+  j.begin_tx(1, 1);
+  j.write(1, 200, 3);
+  j.end_tx(1);
+  j.begin_tx(0, 2);
+  j.end_tx(0);
+
+  ASSERT_EQ(j.per_core(0).size(), 2u);
+  ASSERT_EQ(j.per_core(1).size(), 1u);
+  EXPECT_EQ(j.per_core(0)[0].tx, 1u);
+  EXPECT_EQ(j.per_core(0)[0].writes.size(), 2u);
+  EXPECT_EQ(j.per_core(0)[1].writes.size(), 0u);
+  EXPECT_EQ(j.total_txs(), 3u);
+}
+
+TEST(Journal, WordAlignsAddresses) {
+  Journal j(1);
+  j.begin_tx(0, 1);
+  j.write(0, 101, 7);  // unaligned address is aligned down
+  j.end_tx(0);
+  EXPECT_EQ(j.per_core(0)[0].writes[0].first, 96u);
+}
+
+TEST(Journal, NestedTxAborts) {
+  Journal j(1);
+  j.begin_tx(0, 1);
+  EXPECT_DEATH(j.begin_tx(0, 2), "nested");
+}
+
+TEST(Journal, WriteOutsideTxAborts) {
+  Journal j(1);
+  EXPECT_DEATH(j.write(0, 8, 1), "outside");
+}
+
+TEST(Journal, EndWithoutBeginAborts) {
+  Journal j(1);
+  EXPECT_DEATH(j.end_tx(0), "without begin");
+}
+
+}  // namespace
+}  // namespace ntcsim::recovery

@@ -1,0 +1,119 @@
+#include "recovery/log_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "recovery/images.hpp"
+
+namespace ntcsim::recovery {
+namespace {
+
+constexpr Addr kBase = 1 << 20;
+constexpr std::uint64_t kBytes = 1 << 16;
+
+TEST(LogCursor, AllocatesSequentialRecords) {
+  LogCursor c(kBase, kBytes);
+  EXPECT_EQ(c.next_record(), kBase);
+  EXPECT_EQ(c.next_record(), kBase + 16);
+  EXPECT_EQ(c.records_used(), 2u);
+}
+
+TEST(LogCursor, OverflowAborts) {
+  LogCursor c(kBase, 32);  // two records
+  c.next_record();
+  c.next_record();
+  EXPECT_DEATH(c.next_record(), "overflow");
+}
+
+TEST(LogFormat, CommitMarkerEncoding) {
+  const Word m = make_commit_marker(42);
+  EXPECT_TRUE(is_commit_marker(m));
+  EXPECT_EQ(commit_marker_tx(m), 42u);
+  EXPECT_FALSE(is_commit_marker(0x12345678));
+  EXPECT_FALSE(is_commit_marker(8ULL << 30));  // an NVM data address
+}
+
+TEST(ParseLog, EmptyLog) {
+  WordImage img;
+  EXPECT_TRUE(parse_log(img, kBase, kBytes).empty());
+}
+
+TEST(ParseLog, SingleCommittedTx) {
+  WordImage img;
+  img.store(kBase, 4096);      // record 0: target addr
+  img.store(kBase + 8, 77);    // record 0: value
+  img.store(kBase + 16, make_commit_marker(1));
+  img.store(kBase + 24, 1);    // record count
+  const auto txs = parse_log(img, kBase, kBytes);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].tx, 1u);
+  ASSERT_EQ(txs[0].writes.size(), 1u);
+  EXPECT_EQ(txs[0].writes[0], (std::pair<Addr, Word>{4096, 77}));
+}
+
+TEST(ParseLog, UncommittedTailIgnored) {
+  WordImage img;
+  img.store(kBase, 4096);
+  img.store(kBase + 8, 77);
+  img.store(kBase + 16, make_commit_marker(1));
+  img.store(kBase + 24, 1);
+  // Tx 2: data record durable, no marker (crash before commit).
+  img.store(kBase + 32, 8192);
+  img.store(kBase + 40, 99);
+  const auto txs = parse_log(img, kBase, kBytes);
+  ASSERT_EQ(txs.size(), 1u);
+  EXPECT_EQ(txs[0].tx, 1u);
+}
+
+TEST(ParseLog, TornRecordStopsParsing) {
+  WordImage img;
+  img.store(kBase, 4096);  // address durable, value lost
+  img.store(kBase + 16, make_commit_marker(1));
+  img.store(kBase + 24, 1);
+  const auto txs = parse_log(img, kBase, kBytes);
+  EXPECT_TRUE(txs.empty());  // the torn record invalidates the tail
+}
+
+TEST(ParseLog, MarkerWithWrongCountRejected) {
+  WordImage img;
+  img.store(kBase, 4096);
+  img.store(kBase + 8, 77);
+  img.store(kBase + 16, make_commit_marker(1));
+  img.store(kBase + 24, 2);  // claims two records, only one present
+  EXPECT_TRUE(parse_log(img, kBase, kBytes).empty());
+}
+
+TEST(ParseLog, MultipleTxsInOrder) {
+  WordImage img;
+  Addr r = kBase;
+  auto put = [&](Word a, Word b) {
+    img.store(r, a);
+    img.store(r + 8, b);
+    r += 16;
+  };
+  put(4096, 1);
+  put(make_commit_marker(1), 1);
+  put(4096, 2);
+  put(4104, 3);
+  put(make_commit_marker(2), 2);
+  const auto txs = parse_log(img, kBase, kBytes);
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_EQ(txs[0].tx, 1u);
+  EXPECT_EQ(txs[1].tx, 2u);
+  EXPECT_EQ(txs[1].writes.size(), 2u);
+}
+
+TEST(ParseLog, HoleAfterCommittedPrefixStopsThere) {
+  WordImage img;
+  img.store(kBase, 4096);
+  img.store(kBase + 8, 1);
+  img.store(kBase + 16, make_commit_marker(1));
+  img.store(kBase + 24, 1);
+  // Record slot 2 never written; records at slot 3 durable but unreachable.
+  img.store(kBase + 48, 8192);
+  img.store(kBase + 56, 9);
+  const auto txs = parse_log(img, kBase, kBytes);
+  ASSERT_EQ(txs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ntcsim::recovery

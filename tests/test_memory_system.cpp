@@ -1,0 +1,145 @@
+#include "mem/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "recovery/images.hpp"
+
+namespace ntcsim::mem {
+namespace {
+
+class MemSysTest : public ::testing::Test {
+ protected:
+  MemSysTest()
+      : cfg_(SystemConfig::tiny()), mem_(cfg_, events_, stats_),
+        durable_(stats_) {
+    mem_.set_nvm_observer(&durable_);
+    nvm_base_ = cfg_.address_space.nvm_base();
+  }
+
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) {
+      events_.drain_until(now_);
+      mem_.tick(now_);
+      ++now_;
+    }
+    events_.drain_until(now_);
+  }
+
+  SystemConfig cfg_;
+  EventQueue events_;
+  StatSet stats_;
+  mem::MemorySystem mem_;
+  recovery::DurableState durable_;
+  Addr nvm_base_ = 0;
+  Cycle now_ = 0;
+};
+
+TEST_F(MemSysTest, RoutesByAddress) {
+  MemRequest low;
+  low.op = MemOp::kRead;
+  low.line_addr = 0;
+  MemRequest high;
+  high.op = MemOp::kRead;
+  high.line_addr = nvm_base_;
+  ASSERT_TRUE(mem_.enqueue(low, now_));
+  ASSERT_TRUE(mem_.enqueue(high, now_));
+  run(300);
+  EXPECT_EQ(stats_.counter_value("dram.reads"), 1u);
+  EXPECT_EQ(stats_.counter_value("nvm.reads"), 1u);
+}
+
+TEST_F(MemSysTest, NvmWriteUpdatesDurableImageOnCompletion) {
+  MemRequest w;
+  w.op = MemOp::kWrite;
+  w.line_addr = nvm_base_;
+  w.persistent = true;
+  w.payload = {{nvm_base_ + 8, 0xABCD}};
+  ASSERT_TRUE(mem_.enqueue(w, now_));
+  EXPECT_EQ(durable_.load(nvm_base_ + 8), 0u);  // not durable before the array write
+  run(300);
+  EXPECT_EQ(durable_.load(nvm_base_ + 8), 0xABCDu);
+}
+
+TEST_F(MemSysTest, DramWriteDoesNotTouchDurableImage) {
+  MemRequest w;
+  w.op = MemOp::kWrite;
+  w.line_addr = 64;
+  w.payload = {{72, 0x1234}};  // would be visible if misrouted
+  ASSERT_TRUE(mem_.enqueue(w, now_));
+  run(300);
+  EXPECT_EQ(durable_.load(72), 0u);
+  EXPECT_EQ(stats_.counter_value("durable.words_written"), 0u);
+}
+
+TEST_F(MemSysTest, AckChainedAfterObserver) {
+  bool acked = false;
+  MemRequest w;
+  w.op = MemOp::kWrite;
+  w.line_addr = nvm_base_ + 128;
+  w.persistent = true;
+  w.payload = {{nvm_base_ + 128, 7}};
+  w.on_complete = [&](const MemRequest&) {
+    // The durable image must already hold the value when the ack fires.
+    EXPECT_EQ(durable_.load(nvm_base_ + 128), 7u);
+    acked = true;
+  };
+  ASSERT_TRUE(mem_.enqueue(std::move(w), now_));
+  run(300);
+  EXPECT_TRUE(acked);
+}
+
+TEST_F(MemSysTest, QueueFullReportingPerChannel) {
+  // Tiny config: nvm write queue = 8.
+  for (unsigned i = 0; i < 8; ++i) {
+    MemRequest w;
+    w.op = MemOp::kWrite;
+    w.line_addr = nvm_base_ + (8ULL << 10) * 4 * i;  // avoid same-line ordering
+    ASSERT_TRUE(mem_.enqueue(w, now_));
+  }
+  EXPECT_TRUE(mem_.write_queue_full(nvm_base_));
+  EXPECT_FALSE(mem_.write_queue_full(0));  // DRAM channel unaffected
+  run(2000);
+  EXPECT_FALSE(mem_.write_queue_full(nvm_base_));
+  EXPECT_TRUE(mem_.idle());
+}
+
+TEST_F(MemSysTest, AdrDomainMakesAcceptanceDurable) {
+  mem_.set_adr_domain(true);
+  MemRequest w;
+  w.op = MemOp::kWrite;
+  w.line_addr = nvm_base_;
+  w.persistent = true;
+  w.payload = {{nvm_base_ + 8, 0x1234}};
+  ASSERT_TRUE(mem_.enqueue(w, now_));
+  // Durable the instant the controller accepted it — no ticking needed.
+  EXPECT_EQ(durable_.load(nvm_base_ + 8), 0x1234u);
+  run(300);
+  EXPECT_EQ(durable_.load(nvm_base_ + 8), 0x1234u);
+}
+
+TEST_F(MemSysTest, AdrRejectedWriteIsNotDurable) {
+  mem_.set_adr_domain(true);
+  // Fill the tiny 8-entry write queue.
+  for (unsigned i = 0; i < 8; ++i) {
+    MemRequest w;
+    w.op = MemOp::kWrite;
+    w.line_addr = nvm_base_ + (8ULL << 10) * 4 * i;
+    ASSERT_TRUE(mem_.enqueue(w, now_));
+  }
+  MemRequest w;
+  w.op = MemOp::kWrite;
+  w.line_addr = nvm_base_ + (1 << 20);
+  w.persistent = true;
+  w.payload = {{nvm_base_ + (1 << 20), 9}};
+  EXPECT_FALSE(mem_.enqueue(w, now_));
+  EXPECT_EQ(durable_.load(nvm_base_ + (1 << 20)), 0u);
+  run(2000);
+}
+
+TEST_F(MemSysTest, IsNvmMatchesAddressSpace) {
+  EXPECT_FALSE(mem_.is_nvm(0));
+  EXPECT_TRUE(mem_.is_nvm(nvm_base_));
+}
+
+}  // namespace
+}  // namespace ntcsim::mem

@@ -1,0 +1,47 @@
+#include "persist/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::persist {
+namespace {
+
+TEST(Policy, OptimalChangesNothing) {
+  const Policy p = policy_for(Mechanism::kOptimal);
+  EXPECT_FALSE(p.route_stores_to_ntc);
+  EXPECT_FALSE(p.drop_persistent_llc_writeback);
+  EXPECT_FALSE(p.probe_ntc_on_llc_miss);
+  EXPECT_FALSE(p.llc_nonvolatile);
+  EXPECT_FALSE(p.flush_on_commit);
+  EXPECT_FALSE(p.software_logging);
+}
+
+TEST(Policy, TcIsTheSidePathOnly) {
+  // The paper's point: TC touches nothing in the existing hierarchy or
+  // controller except the drop/probe hooks and the NTC routing.
+  const Policy p = policy_for(Mechanism::kTc);
+  EXPECT_TRUE(p.route_stores_to_ntc);
+  EXPECT_TRUE(p.drop_persistent_llc_writeback);
+  EXPECT_TRUE(p.probe_ntc_on_llc_miss);
+  EXPECT_FALSE(p.llc_nonvolatile);
+  EXPECT_FALSE(p.flush_on_commit);
+  EXPECT_FALSE(p.software_logging);
+}
+
+TEST(Policy, SpIsSoftwareOnly) {
+  const Policy p = policy_for(Mechanism::kSp);
+  EXPECT_TRUE(p.software_logging);
+  EXPECT_FALSE(p.route_stores_to_ntc);
+  EXPECT_FALSE(p.llc_nonvolatile);
+}
+
+TEST(Policy, KilnModifiesTheLlc) {
+  const Policy p = policy_for(Mechanism::kKiln);
+  EXPECT_TRUE(p.llc_nonvolatile);
+  EXPECT_TRUE(p.flush_on_commit);
+  EXPECT_FALSE(p.route_stores_to_ntc);
+  EXPECT_FALSE(p.drop_persistent_llc_writeback);
+  EXPECT_FALSE(p.software_logging);
+}
+
+}  // namespace
+}  // namespace ntcsim::persist

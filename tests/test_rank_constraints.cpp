@@ -1,0 +1,100 @@
+// tFAW and write-to-read turnaround (config-gated; disabled in the
+// published configuration so they are pure extensions).
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.hpp"
+
+namespace ntcsim::mem {
+namespace {
+
+MemCtrlConfig base_cfg() {
+  MemCtrlConfig c;
+  c.ranks = 1;
+  c.banks_per_rank = 8;
+  c.read_queue = 8;
+  c.write_queue = 8;
+  c.bus_latency = 2;
+  c.timing.row_hit = 10;
+  c.timing.row_miss = 30;
+  c.timing.burst = 2;
+  return c;
+}
+
+struct Harness {
+  EventQueue events;
+  StatSet stats;
+  MemoryController mc;
+  Cycle now = 0;
+  explicit Harness(const MemCtrlConfig& c) : mc("nvm", c, events, stats) {}
+  void run(Cycle n) {
+    for (Cycle i = 0; i < n; ++i) {
+      events.drain_until(now);
+      mc.tick(now);
+      ++now;
+    }
+    events.drain_until(now);
+  }
+};
+
+Cycle time_five_activations(Cycle tfaw) {
+  MemCtrlConfig c = base_cfg();
+  c.tfaw = tfaw;
+  Harness h(c);
+  Cycle last_done = 0;
+  int remaining = 5;
+  for (unsigned i = 0; i < 5; ++i) {
+    MemRequest r;
+    r.op = MemOp::kRead;
+    r.line_addr = i * kLineBytes;  // five different banks: five activations
+    r.on_complete = [&](const MemRequest&) {
+      --remaining;
+      last_done = h.now;
+    };
+    EXPECT_TRUE(h.mc.enqueue(std::move(r), h.now));
+  }
+  h.run(5000);
+  EXPECT_EQ(remaining, 0);
+  return last_done;
+}
+
+TEST(RankConstraints, TfawThrottlesActivationBursts) {
+  const Cycle unconstrained = time_five_activations(0);
+  const Cycle constrained = time_five_activations(400);
+  // The 5th activation must wait out the window.
+  EXPECT_GE(constrained, 400u);
+  EXPECT_LT(unconstrained, 200u);
+}
+
+TEST(RankConstraints, TwtrDelaysReadAfterWrite) {
+  auto read_after_write = [](Cycle twtr) {
+    MemCtrlConfig c = base_cfg();
+    c.twtr = twtr;
+    Harness h(c);
+    MemRequest w;
+    w.op = MemOp::kWrite;
+    w.line_addr = 0;
+    EXPECT_TRUE(h.mc.enqueue(std::move(w), h.now));
+    h.run(1);  // the write issues first (idle channel)
+    Cycle done = 0;
+    MemRequest r;
+    r.op = MemOp::kRead;
+    r.line_addr = kLineBytes;  // other bank, same rank
+    r.on_complete = [&](const MemRequest&) { done = h.now; };
+    EXPECT_TRUE(h.mc.enqueue(std::move(r), h.now));
+    h.run(3000);
+    return done;
+  };
+  const Cycle fast = read_after_write(0);
+  const Cycle slow = read_after_write(500);
+  EXPECT_GT(slow, fast + 300);
+}
+
+TEST(RankConstraints, DisabledByDefaultInPaperPreset) {
+  const SystemConfig c = SystemConfig::paper();
+  EXPECT_EQ(c.nvm.tfaw, 0u);
+  EXPECT_EQ(c.nvm.twtr, 0u);
+  EXPECT_EQ(c.dram.tfaw, 0u);
+}
+
+}  // namespace
+}  // namespace ntcsim::mem

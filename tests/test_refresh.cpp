@@ -1,0 +1,101 @@
+// DRAM refresh (tREFI/tRFC): periodic rank blackouts delay accesses on the
+// DRAM channel; the NVM channel never refreshes.
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.hpp"
+
+namespace ntcsim::mem {
+namespace {
+
+MemCtrlConfig cfg_with_refresh(Cycle interval, Cycle trfc) {
+  MemCtrlConfig c;
+  c.ranks = 1;
+  c.banks_per_rank = 2;
+  c.read_queue = 4;
+  c.write_queue = 8;
+  c.bus_latency = 2;
+  c.timing.row_hit = 10;
+  c.timing.row_miss = 30;
+  c.timing.burst = 4;
+  c.refresh_interval = interval;
+  c.refresh_cycles = trfc;
+  return c;
+}
+
+struct Harness {
+  EventQueue events;
+  StatSet stats;
+  MemoryController mc;
+  Cycle now = 0;
+
+  explicit Harness(const MemCtrlConfig& cfg)
+      : mc("dram", cfg, events, stats) {}
+
+  void run(Cycle n) {
+    for (Cycle i = 0; i < n; ++i) {
+      events.drain_until(now);
+      mc.tick(now);
+      ++now;
+    }
+    events.drain_until(now);
+  }
+};
+
+TEST(Refresh, FiresPeriodically) {
+  Harness h(cfg_with_refresh(500, 50));
+  h.run(5000);
+  // Roughly one refresh per interval after the staggered start.
+  const auto n = h.stats.counter_value("dram.refreshes");
+  EXPECT_GE(n, 8u);
+  EXPECT_LE(n, 11u);
+}
+
+TEST(Refresh, DisabledWhenIntervalZero) {
+  Harness h(cfg_with_refresh(0, 50));
+  h.run(5000);
+  EXPECT_EQ(h.stats.counter_value("dram.refreshes"), 0u);
+}
+
+TEST(Refresh, DelaysCollidingAccess) {
+  // Issue a read right as the refresh window opens: it must wait tRFC.
+  Harness h(cfg_with_refresh(500, 200));
+  h.run(501);  // first refresh at ~500 blocks the rank until ~700
+  Cycle done_at = 0;
+  MemRequest r;
+  r.op = MemOp::kRead;
+  r.line_addr = 0;
+  r.on_complete = [&](const MemRequest&) { done_at = h.now; };
+  ASSERT_TRUE(h.mc.enqueue(std::move(r), h.now));
+  h.run(600);
+  ASSERT_GT(done_at, 0u);
+  // Without refresh: ~30+4+2 cycles. With the rank blocked to ~700: later.
+  EXPECT_GT(done_at, 690u);
+}
+
+TEST(Refresh, ClosesRowBuffers) {
+  Harness h(cfg_with_refresh(400, 40));
+  // Open a row.
+  MemRequest r;
+  r.op = MemOp::kRead;
+  r.line_addr = 0;
+  ASSERT_TRUE(h.mc.enqueue(r, h.now));
+  h.run(100);
+  EXPECT_EQ(h.stats.counter_value("dram.row_misses"), 1u);
+  // Cross a refresh boundary, then access the same row again: the refresh
+  // closed it, so this is another row miss.
+  h.run(500);
+  ASSERT_GE(h.stats.counter_value("dram.refreshes"), 1u);
+  ASSERT_TRUE(h.mc.enqueue(r, h.now));
+  h.run(100);
+  EXPECT_EQ(h.stats.counter_value("dram.row_misses"), 2u);
+  EXPECT_EQ(h.stats.counter_value("dram.row_hits"), 0u);
+}
+
+TEST(Refresh, PaperPresetRefreshesDramOnly) {
+  const SystemConfig cfg = SystemConfig::paper();
+  EXPECT_GT(cfg.dram.refresh_interval, 0u);
+  EXPECT_EQ(cfg.nvm.refresh_interval, 0u) << "STT-RAM must not refresh";
+}
+
+}  // namespace
+}  // namespace ntcsim::mem

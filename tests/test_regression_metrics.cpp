@@ -1,0 +1,89 @@
+// Golden-run regression guard: a fixed, deterministic tiny run per
+// mechanism with recorded reference metrics. Timing-model changes that
+// move these numbers by more than the tolerance are either intentional
+// (update the goldens and say why in the commit) or a performance-model
+// regression this test just caught. Functional counts (retired µops,
+// transactions) are exact.
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace ntcsim::sim {
+namespace {
+
+struct Golden {
+  Mechanism mech;
+  Cycle cycles;
+  std::uint64_t retired;
+  std::uint64_t txs;
+  std::uint64_t nvm_writes;
+  double llc_miss_rate;
+};
+
+// Reference: tiny 1-core machine, hashtable, setup 500 / ops 300 / seed 42,
+// compute_per_op 64. Captured 2026-07-06.
+constexpr Golden kGoldens[] = {
+    {Mechanism::kOptimal, 25314, 21567, 300, 204, 0.8214},
+    {Mechanism::kTc, 39975, 21567, 300, 440, 0.8277},
+    {Mechanism::kSp, 91504, 24310, 300, 795, 0.8309},
+    {Mechanism::kKiln, 30440, 21567, 300, 218, 0.8129},
+};
+
+class RegressionMetrics : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(RegressionMetrics, StaysWithinTolerance) {
+  const Golden g = GetParam();
+  SystemConfig cfg = SystemConfig::tiny();
+  cfg.cores = 1;
+  cfg.mechanism = g.mech;
+  workload::WorkloadParams p =
+      workload::default_params(WorkloadKind::kHashtable);
+  p.setup_elems = 500;
+  p.ops = 300;
+  p.seed = 42;
+  p.compute_per_op = 64;
+
+  workload::SimHeap heap(cfg.address_space, 1);
+  workload::TraceBundle b = workload::generate_phased(p, 0, heap, nullptr);
+  System sys(cfg);
+  sys.load_trace(0, std::move(b.setup));
+  sys.run();
+  sys.reset_stats();
+  sys.load_trace(0, std::move(b.measured));
+  sys.run();
+  const Metrics m = sys.metrics();
+
+  // Functional counts are deterministic and exact.
+  EXPECT_EQ(m.retired_uops, g.retired);
+  EXPECT_EQ(m.committed_txs, g.txs);
+
+  // Timing and traffic may drift with intentional model changes: 25 %.
+  EXPECT_NEAR(static_cast<double>(m.cycles), static_cast<double>(g.cycles),
+              0.25 * static_cast<double>(g.cycles));
+  EXPECT_NEAR(static_cast<double>(m.nvm_writes),
+              static_cast<double>(g.nvm_writes),
+              0.25 * static_cast<double>(g.nvm_writes));
+  EXPECT_NEAR(m.llc_miss_rate, g.llc_miss_rate, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Goldens, RegressionMetrics,
+                         ::testing::ValuesIn(kGoldens),
+                         [](const auto& info) {
+                           std::string n(to_string(info.param.mech));
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// The qualitative paper ordering, pinned as a regression property.
+TEST(RegressionMetrics, MechanismOrderingIsStable) {
+  std::map<Mechanism, Cycle> cycles;
+  for (const Golden& g : kGoldens) cycles[g.mech] = g.cycles;
+  EXPECT_LT(cycles[Mechanism::kOptimal], cycles[Mechanism::kKiln]);
+  EXPECT_LT(cycles[Mechanism::kKiln], cycles[Mechanism::kSp]);
+}
+
+}  // namespace
+}  // namespace ntcsim::sim

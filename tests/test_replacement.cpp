@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/array.hpp"
+
+namespace ntcsim::cache {
+namespace {
+
+CacheConfig cfg(ReplacementPolicy p) {
+  CacheConfig c{512, 2, 1, 4, 4};  // 2 ways x 4 sets
+  c.replacement = p;
+  return c;
+}
+
+TEST(Replacement, SrripEvictsNonReusedLineFirst) {
+  CacheArray c(cfg(ReplacementPolicy::kSrrip));
+  std::optional<Eviction> ev;
+  c.allocate(0, ev);
+  c.allocate(256, ev);
+  // Re-reference 0 repeatedly: its RRPV pins to 0; 256 stays at 2.
+  c.lookup(0);
+  c.lookup(0);
+  ev.reset();
+  c.allocate(512, ev);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 256u);
+  EXPECT_NE(c.lookup(0, false), nullptr);
+}
+
+TEST(Replacement, SrripAgesWhenNoDistantLine) {
+  CacheArray c(cfg(ReplacementPolicy::kSrrip));
+  std::optional<Eviction> ev;
+  c.allocate(0, ev);
+  c.allocate(256, ev);
+  c.lookup(0);
+  c.lookup(256);  // both at rrpv 0: aging rounds must still find a victim
+  ev.reset();
+  Line* l = c.allocate(512, ev);
+  EXPECT_NE(l, nullptr);
+  EXPECT_TRUE(ev.has_value());
+}
+
+TEST(Replacement, RandomEventuallyEvictsBothWays) {
+  CacheArray c(cfg(ReplacementPolicy::kRandom));
+  std::optional<Eviction> ev;
+  std::set<Addr> victims;
+  for (int trial = 0; trial < 64; ++trial) {
+    // Refill set 0 and evict once.
+    if (c.lookup(0, false) == nullptr) c.allocate(0, ev);
+    if (c.lookup(256, false) == nullptr) c.allocate(256, ev);
+    ev.reset();
+    c.allocate(512, ev);
+    ASSERT_TRUE(ev.has_value());
+    victims.insert(ev->line_addr);
+    c.invalidate(512);
+  }
+  // A random policy must not always pick the same way.
+  EXPECT_EQ(victims.size(), 2u);
+}
+
+TEST(Replacement, RandomRespectsPinning) {
+  CacheArray c(cfg(ReplacementPolicy::kRandom));
+  std::optional<Eviction> ev;
+  Line* a = c.allocate(0, ev);
+  a->pinned = true;
+  c.note_pin(true);
+  c.allocate(256, ev);
+  // Every further allocation in set 0 must evict the unpinned way.
+  for (int i = 2; i < 18; ++i) {
+    ev.reset();
+    c.allocate(static_cast<Addr>(i) * 256, ev);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_NE(ev->line_addr, 0u) << "pinned line evicted on trial " << i;
+  }
+  EXPECT_NE(c.lookup(0, false), nullptr);
+}
+
+TEST(Replacement, SrripPinnedSetBypasses) {
+  CacheArray c(cfg(ReplacementPolicy::kSrrip));
+  std::optional<Eviction> ev;
+  for (Addr a : {0u, 256u}) {
+    Line* l = c.allocate(a, ev);
+    l->pinned = true;
+    c.note_pin(true);
+  }
+  ev.reset();
+  EXPECT_EQ(c.allocate(512, ev), nullptr);
+}
+
+TEST(Replacement, ConfigSelectsPolicy) {
+  // Smoke: all three policies run the same fill pattern without issue.
+  for (ReplacementPolicy p : {ReplacementPolicy::kLru,
+                              ReplacementPolicy::kRandom,
+                              ReplacementPolicy::kSrrip}) {
+    CacheArray c(cfg(p));
+    std::optional<Eviction> ev;
+    for (Addr a = 0; a < 4096; a += 64) {
+      if (c.lookup(a, false) == nullptr) {
+        ev.reset();
+        c.allocate(a, ev);
+      }
+    }
+    int valid = 0;
+    c.for_each_valid([&](Line&) { ++valid; });
+    EXPECT_EQ(valid, 8) << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace ntcsim::cache

@@ -1,0 +1,69 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace ntcsim::sim {
+namespace {
+
+Metrics sample_metrics() {
+  Metrics m;
+  m.cycles = 1000;
+  m.retired_uops = 4000;
+  m.committed_txs = 40;
+  m.ipc = 4.0;
+  m.tx_per_kilocycle = 40.0;
+  m.llc_miss_rate = 0.25;
+  m.nvm_writes = 123;
+  m.pload_latency = 12.5;
+  return m;
+}
+
+TEST(Report, RowContainsLabelAndFields) {
+  std::ostringstream oss;
+  write_metrics_csv_row(oss, "sps/TC", sample_metrics(), /*header=*/true);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("label,cycles"), std::string::npos);
+  EXPECT_NE(out.find("sps/TC,1000,4000,40,4,40,0.25,123,12.5"),
+            std::string::npos);
+}
+
+TEST(Report, HeaderOnlyOnRequest) {
+  std::ostringstream oss;
+  write_metrics_csv_row(oss, "x", sample_metrics());
+  EXPECT_EQ(oss.str().find("label"), std::string::npos);
+}
+
+TEST(Report, MatrixEmitsOneRowPerCell) {
+  Matrix m;
+  m[WorkloadKind::kSps][Mechanism::kTc] = sample_metrics();
+  m[WorkloadKind::kSps][Mechanism::kOptimal] = sample_metrics();
+  m[WorkloadKind::kBtree][Mechanism::kSp] = sample_metrics();
+  std::ostringstream oss;
+  write_matrix_csv(oss, m);
+  std::istringstream iss(oss.str());
+  std::string line;
+  int rows = 0;
+  while (std::getline(iss, line)) ++rows;
+  EXPECT_EQ(rows, 1 + 3);  // header + cells
+  EXPECT_NE(oss.str().find("sps/TC"), std::string::npos);
+  EXPECT_NE(oss.str().find("btree/SP"), std::string::npos);
+}
+
+TEST(Report, FieldCountMatchesHeader) {
+  std::ostringstream oss;
+  write_metrics_csv_row(oss, "a", sample_metrics(), true);
+  std::istringstream iss(oss.str());
+  std::string header, row;
+  std::getline(iss, header);
+  std::getline(iss, row);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+}
+
+}  // namespace
+}  // namespace ntcsim::sim

@@ -1,0 +1,59 @@
+#include "workload/sim_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntcsim::workload {
+namespace {
+
+TEST(SimHeap, PersistentAllocationsAreInNvm) {
+  AddressSpace space;
+  SimHeap h(space, 2);
+  const Addr a = h.alloc(0, 64);
+  EXPECT_TRUE(space.is_persistent(a));
+  EXPECT_GE(a, space.heap_base());
+  EXPECT_LT(a, space.heap_base() + space.heap_bytes());
+}
+
+TEST(SimHeap, VolatileAllocationsAreInDram) {
+  AddressSpace space;
+  SimHeap h(space, 2);
+  const Addr a = h.alloc_volatile(0, 64);
+  EXPECT_FALSE(space.is_persistent(a));
+}
+
+TEST(SimHeap, AllocationsDoNotOverlap) {
+  AddressSpace space;
+  SimHeap h(space, 1);
+  const Addr a = h.alloc(0, 24);
+  const Addr b = h.alloc(0, 24);
+  EXPECT_GE(b, a + 24);
+}
+
+TEST(SimHeap, AlignmentRespected) {
+  AddressSpace space;
+  SimHeap h(space, 1);
+  h.alloc(0, 8);
+  const Addr a = h.alloc(0, 64, 64);
+  EXPECT_EQ(a % 64, 0u);
+}
+
+TEST(SimHeap, CoreArenasAreDisjoint) {
+  AddressSpace space;
+  SimHeap h(space, 4);
+  const Addr a0 = h.alloc(0, 1 << 20);
+  const Addr a1 = h.alloc(1, 1 << 20);
+  EXPECT_NE(a0, a1);
+  // Core 1's whole arena sits above core 0's first MB.
+  EXPECT_GE(a1, a0 + (1 << 20));
+}
+
+TEST(SimHeap, UsageTracking) {
+  AddressSpace space;
+  SimHeap h(space, 1);
+  EXPECT_EQ(h.persistent_used(0), 0u);
+  h.alloc(0, 100);
+  EXPECT_GE(h.persistent_used(0), 100u);
+}
+
+}  // namespace
+}  // namespace ntcsim::workload

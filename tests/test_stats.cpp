@@ -1,0 +1,95 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ntcsim {
+namespace {
+
+TEST(Stats, CounterBasics) {
+  StatSet s;
+  Counter& c = s.counter("a.b");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(s.counter_value("a.b"), 5u);
+  EXPECT_EQ(s.counter_value("missing"), 0u);
+  EXPECT_TRUE(s.has_counter("a.b"));
+  EXPECT_FALSE(s.has_counter("a.c"));
+}
+
+TEST(Stats, CounterReferenceIsStable) {
+  StatSet s;
+  Counter& a = s.counter("x");
+  for (int i = 0; i < 100; ++i) s.counter("name" + std::to_string(i));
+  a.inc(7);
+  EXPECT_EQ(s.counter_value("x"), 7u);
+}
+
+TEST(Stats, AccumulatorMeanAndMax) {
+  StatSet s;
+  Accumulator& a = s.accumulator("lat");
+  a.add(10.0);
+  a.add(20.0);
+  a.add(60.0);
+  EXPECT_DOUBLE_EQ(s.accumulator_mean("lat"), 30.0);
+  EXPECT_DOUBLE_EQ(s.accumulator_sum("lat"), 90.0);
+  EXPECT_EQ(s.accumulator_count("lat"), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 60.0);
+  EXPECT_DOUBLE_EQ(s.accumulator_mean("missing"), 0.0);
+}
+
+TEST(Stats, PrefixSum) {
+  StatSet s;
+  s.counter("ntc0.writes").inc(3);
+  s.counter("ntc1.writes").inc(4);
+  s.counter("ntcX.other").inc(5);
+  s.counter("other").inc(100);
+  EXPECT_EQ(s.counter_prefix_sum("ntc"), 12u);
+  EXPECT_EQ(s.counter_prefix_sum("ntc0"), 3u);
+  EXPECT_EQ(s.counter_prefix_sum("zzz"), 0u);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  StatSet s;
+  s.counter("c").inc(9);
+  s.accumulator("a").add(1.0);
+  s.reset();
+  EXPECT_EQ(s.counter_value("c"), 0u);
+  EXPECT_EQ(s.accumulator_count("a"), 0u);
+}
+
+TEST(Stats, DumpContainsNames) {
+  StatSet s;
+  s.counter("alpha").inc(1);
+  s.accumulator("beta").add(2.0);
+  std::ostringstream oss;
+  s.dump(oss);
+  EXPECT_NE(oss.str().find("alpha"), std::string::npos);
+  EXPECT_NE(oss.str().find("beta"), std::string::npos);
+}
+
+TEST(Histogram, BucketsPowersOfTwo) {
+  Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);  // value 0
+  EXPECT_EQ(h.bucket(1), 1u);  // value 1
+  EXPECT_EQ(h.bucket(2), 2u);  // values 2..3
+  EXPECT_EQ(h.bucket(11), 1u); // 1024
+}
+
+TEST(Histogram, PercentileEdge) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(1);
+  h.add(1000000);
+  EXPECT_LE(h.percentile_edge(50.0), 1u);
+  EXPECT_GE(h.percentile_edge(100.0), 1000000u / 2);
+}
+
+}  // namespace
+}  // namespace ntcsim

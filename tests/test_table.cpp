@@ -1,0 +1,48 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ntcsim {
+namespace {
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Table::fmt(0.5, 0), "0");  // banker-free snprintf rounding: 0.5 -> 0
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"workload", "SP", "TC"});
+  t.add_row("sps", {0.3, 0.98});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("workload"), std::string::npos);
+  EXPECT_NE(out.find("sps"), std::string::npos);
+  EXPECT_NE(out.find("0.300"), std::string::npos);
+  EXPECT_NE(out.find("0.980"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "long_header"});
+  t.add_row({"xxxxxxxx", "1"});
+  std::ostringstream oss;
+  t.print(oss);
+  std::istringstream iss(oss.str());
+  std::string header, sep, row;
+  std::getline(iss, header);
+  std::getline(iss, sep);
+  std::getline(iss, row);
+  // Column 2 starts at the same offset in header and row.
+  EXPECT_EQ(header.find("long_header"), row.find('1'));
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace ntcsim

@@ -1,0 +1,115 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/workloads.hpp"
+
+namespace ntcsim::core {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.push(MicroOp::tx_begin(1));
+  t.push(MicroOp::load(0x200000000ULL, true));
+  t.push(MicroOp::store(0x200000040ULL, 0xABCD, true));
+  t.push(MicroOp::ntstore(0x3C0000000ULL, 7));
+  t.push(MicroOp::clwb(0x200000040ULL, FlushKind::kData));
+  t.push(MicroOp::sfence());
+  t.push(MicroOp::pcommit());
+  t.push(MicroOp::tx_end());
+  t.push(MicroOp::compute());
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  const Trace in = sample_trace();
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, in).ok);
+  Trace out;
+  const auto r = read_trace(ss, out);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].kind, in[i].kind) << "op " << i;
+    EXPECT_EQ(out[i].flush, in[i].flush) << "op " << i;
+    EXPECT_EQ(out[i].persistent, in[i].persistent) << "op " << i;
+    EXPECT_EQ(out[i].addr, in[i].addr) << "op " << i;
+    EXPECT_EQ(out[i].value, in[i].value) << "op " << i;
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, Trace{}).ok);
+  Trace out;
+  ASSERT_TRUE(read_trace(ss, out).ok);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss("definitely not a trace file");
+  Trace out;
+  const auto r = read_trace(ss, out);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  const Trace in = sample_trace();
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, in).ok);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() - 10));
+  Trace out;
+  const auto r = read_trace(cut, out);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsCorruptKind) {
+  const Trace in = sample_trace();
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, in).ok);
+  std::string bytes = ss.str();
+  bytes[16] = 0x7F;  // first record's kind
+  std::stringstream bad(bytes);
+  Trace out;
+  const auto r = read_trace(bad, out);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("corrupt"), std::string::npos);
+}
+
+TEST(TraceIo, WorkloadTraceRoundTripsExactly) {
+  AddressSpace space;
+  workload::SimHeap heap(space, 1);
+  workload::WorkloadParams p = workload::default_params(WorkloadKind::kBtree);
+  p.setup_elems = 200;
+  p.ops = 50;
+  const Trace in = workload::generate(p, 0, heap, nullptr);
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, in).ok);
+  Trace out;
+  ASSERT_TRUE(read_trace(ss, out).ok);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out.transactions(), in.transactions());
+  for (std::size_t i = 0; i < in.size(); i += 97) {  // spot-check
+    EXPECT_EQ(out[i].addr, in[i].addr);
+    EXPECT_EQ(out[i].value, in[i].value);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace in = sample_trace();
+  const std::string path = ::testing::TempDir() + "/ntcsim_trace_test.bin";
+  ASSERT_TRUE(save_trace(path, in).ok);
+  Trace out;
+  const auto r = load_trace(path, out);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_FALSE(load_trace(path + ".missing", out).ok);
+}
+
+}  // namespace
+}  // namespace ntcsim::core

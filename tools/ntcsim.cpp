@@ -1,0 +1,234 @@
+// ntcsim — command-line driver for the persistent-memory-accelerator
+// simulator. Runs one workload under one mechanism on a configurable
+// machine and reports metrics (human-readable or CSV), optionally with
+// crash injection + recovery checking.
+//
+//   ntcsim --workload=rbtree --mechanism=tc
+//   ntcsim --workload=sps --mechanism=sp --ops=2000 --cores=2 --csv
+//   ntcsim --config=machine.cfg --set llc.size_kb=1024
+//   ntcsim --workload=hashtable --mechanism=tc --crash-at=50000
+//   ntcsim --dump-config
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "recovery/recovery.hpp"
+#include "sim/config_io.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace ntcsim;
+
+void usage() {
+  std::puts(
+      "ntcsim — nonvolatile-transaction-cache persistent memory simulator\n"
+      "\n"
+      "  --workload=NAME      graph | rbtree | sps | btree | hashtable\n"
+      "  --mechanism=NAME     tc | sp | kiln | optimal      (default tc)\n"
+      "  --preset=NAME        paper | experiment | tiny     (default experiment)\n"
+      "  --config=FILE        apply key=value overrides from FILE\n"
+      "  --set KEY=VALUE      apply one override (repeatable)\n"
+      "  --ops=N              measured operations per core\n"
+      "  --setup=N            structure size built before measuring\n"
+      "  --lookup=PCT         percentage of measured ops that are searches\n"
+      "  --seed=N             workload RNG seed\n"
+      "  --crash-at=CYCLE     crash in the measured phase, recover, check\n"
+      "  --csv                machine-readable one-row output\n"
+      "  --stats              dump every raw statistic after the run\n"
+      "  --dump-config        print the effective configuration and exit\n"
+      "  --help\n");
+}
+
+struct Cli {
+  WorkloadKind workload = WorkloadKind::kRbtree;
+  Mechanism mechanism = Mechanism::kTc;
+  std::string preset = "experiment";
+  SystemConfig cfg = SystemConfig::experiment();
+  workload::WorkloadParams params;
+  bool have_params = false;
+  Cycle crash_at = 0;
+  bool csv = false;
+  bool stats = false;
+  bool dump_config = false;
+};
+
+bool parse_args(int argc, char** argv, Cli& cli) {
+  // Two passes: preset first (later keys overlay it).
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--preset=", 0) == 0) {
+      cli.preset = a.substr(9);
+    }
+  }
+  if (cli.preset == "paper") {
+    cli.cfg = SystemConfig::paper();
+  } else if (cli.preset == "experiment") {
+    cli.cfg = SystemConfig::experiment();
+  } else if (cli.preset == "tiny") {
+    cli.cfg = SystemConfig::tiny();
+  } else {
+    std::fprintf(stderr, "unknown preset \"%s\"\n", cli.preset.c_str());
+    return false;
+  }
+
+  std::string ops, setup, lookup, seed;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&a]() { return a.substr(a.find('=') + 1); };
+    if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else if (a.rfind("--workload=", 0) == 0) {
+      if (!sim::parse_workload(value(), cli.workload)) {
+        std::fprintf(stderr, "unknown workload \"%s\"\n", value().c_str());
+        return false;
+      }
+    } else if (a.rfind("--mechanism=", 0) == 0) {
+      if (!sim::parse_mechanism(value(), cli.mechanism)) {
+        std::fprintf(stderr, "unknown mechanism \"%s\"\n", value().c_str());
+        return false;
+      }
+    } else if (a.rfind("--preset=", 0) == 0) {
+      // handled above
+    } else if (a.rfind("--config=", 0) == 0) {
+      std::ifstream f(value());
+      if (!f) {
+        std::fprintf(stderr, "cannot open config \"%s\"\n", value().c_str());
+        return false;
+      }
+      const auto r = sim::apply_config(f, cli.cfg);
+      if (!r.ok) {
+        std::fprintf(stderr, "%s: %s\n", value().c_str(), r.error.c_str());
+        return false;
+      }
+    } else if (a == "--set" && i + 1 < argc) {
+      const auto r = sim::apply_config_line(argv[++i], cli.cfg);
+      if (!r.ok) {
+        std::fprintf(stderr, "--set: %s\n", r.error.c_str());
+        return false;
+      }
+    } else if (a.rfind("--ops=", 0) == 0) {
+      ops = value();
+    } else if (a.rfind("--setup=", 0) == 0) {
+      setup = value();
+    } else if (a.rfind("--lookup=", 0) == 0) {
+      lookup = value();
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = value();
+    } else if (a.rfind("--crash-at=", 0) == 0) {
+      cli.crash_at = std::stoull(value());
+    } else if (a == "--csv") {
+      cli.csv = true;
+    } else if (a == "--stats") {
+      cli.stats = true;
+    } else if (a == "--dump-config") {
+      cli.dump_config = true;
+    } else {
+      std::fprintf(stderr, "unknown argument \"%s\" (try --help)\n",
+                   a.c_str());
+      return false;
+    }
+  }
+
+  cli.cfg.mechanism = cli.mechanism;
+  cli.params = workload::default_params(cli.workload);
+  if (!ops.empty()) cli.params.ops = std::stoull(ops);
+  if (!setup.empty()) cli.params.setup_elems = std::stoull(setup);
+  if (!lookup.empty()) {
+    cli.params.lookup_pct = static_cast<unsigned>(std::stoul(lookup));
+  }
+  if (!seed.empty()) cli.params.seed = std::stoull(seed);
+  return true;
+}
+
+int run(const Cli& cli) {
+  recovery::Journal journal(cli.cfg.cores);
+  workload::SimHeap heap(cli.cfg.address_space, cli.cfg.cores);
+  std::vector<workload::TraceBundle> bundles;
+  for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+    bundles.push_back(
+        workload::generate_phased(cli.params, c, heap, &journal));
+  }
+
+  sim::System sys(cli.cfg);
+  for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+    sys.load_trace(c, std::move(bundles[c].setup));
+  }
+  sys.run();
+  sys.reset_stats();
+  for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+    sys.load_trace(c, std::move(bundles[c].measured));
+  }
+
+  if (cli.crash_at > 0) {
+    const Cycle epoch = sys.now();
+    while (sys.now() < epoch + cli.crash_at && !sys.run_for(1000)) {
+    }
+    const recovery::WordImage img = sys.crash_and_recover();
+    const auto report = recovery::check_atomicity(img, journal);
+    std::printf("crash at cycle %llu (measured-phase cycle %llu)\n",
+                static_cast<unsigned long long>(sys.now()),
+                static_cast<unsigned long long>(sys.now() - epoch));
+    if (report.consistent) {
+      std::printf("recovery: CONSISTENT\n");
+      for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+        std::printf("  core %u: %zu/%zu transactions durable\n", c,
+                    report.durable_tx_prefix[c],
+                    journal.per_core(c).size());
+      }
+      return 0;
+    }
+    std::printf("recovery: ATOMICITY VIOLATION\n  %s\n",
+                report.violation.c_str());
+    return 2;
+  }
+
+  sys.run();
+  const sim::Metrics m = sys.metrics();
+
+  const std::string label = std::string(to_string(cli.workload)) + "/" +
+                            std::string(to_string(cli.mechanism));
+  if (cli.csv) {
+    sim::write_metrics_csv_row(std::cout, label, m, /*header=*/true);
+  } else {
+    std::printf("%s on %s preset (%u cores)\n", label.c_str(),
+                cli.preset.c_str(), cli.cfg.cores);
+    std::printf("  cycles               %llu\n",
+                static_cast<unsigned long long>(m.cycles));
+    std::printf("  IPC (aggregate)      %.3f\n", m.ipc);
+    std::printf("  transactions/kcycle  %.3f\n", m.tx_per_kilocycle);
+    std::printf("  LLC miss rate        %.4f\n", m.llc_miss_rate);
+    std::printf("  NVM writes / reads   %llu / %llu\n",
+                static_cast<unsigned long long>(m.nvm_writes),
+                static_cast<unsigned long long>(m.nvm_reads));
+    std::printf("  pload latency        %.1f cy (p50<=%llu, p99<=%llu)\n",
+                m.pload_latency,
+                static_cast<unsigned long long>(m.pload_latency_p50),
+                static_cast<unsigned long long>(m.pload_latency_p99));
+    std::printf("  NTC stalls / spills  %.5f / %llu\n", m.ntc_stall_frac,
+                static_cast<unsigned long long>(m.ntc_spills));
+  }
+  if (cli.stats) {
+    std::cout << "\n-- raw statistics --\n";
+    sys.stats().dump(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_args(argc, argv, cli)) return 1;
+  if (cli.dump_config) {
+    sim::write_config(std::cout, cli.cfg);
+    return 0;
+  }
+  return run(cli);
+}
