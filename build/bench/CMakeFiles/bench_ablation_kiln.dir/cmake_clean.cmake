@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kiln.dir/bench_ablation_kiln.cpp.o"
+  "CMakeFiles/bench_ablation_kiln.dir/bench_ablation_kiln.cpp.o.d"
+  "bench_ablation_kiln"
+  "bench_ablation_kiln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kiln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

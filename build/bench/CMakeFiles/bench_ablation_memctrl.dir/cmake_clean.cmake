@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memctrl.dir/bench_ablation_memctrl.cpp.o"
+  "CMakeFiles/bench_ablation_memctrl.dir/bench_ablation_memctrl.cpp.o.d"
+  "bench_ablation_memctrl"
+  "bench_ablation_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adr.dir/bench_ext_adr.cpp.o"
+  "CMakeFiles/bench_ext_adr.dir/bench_ext_adr.cpp.o.d"
+  "bench_ext_adr"
+  "bench_ext_adr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

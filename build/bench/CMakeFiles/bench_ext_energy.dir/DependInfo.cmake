@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_energy.cpp" "bench/CMakeFiles/bench_ext_energy.dir/bench_ext_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_energy.dir/bench_ext_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ntc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/ntc_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ntc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ntc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ntc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/txcache/CMakeFiles/ntc_txcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ntc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ntc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wear.dir/bench_ext_wear.cpp.o"
+  "CMakeFiles/bench_ext_wear.dir/bench_ext_wear.cpp.o.d"
+  "bench_ext_wear"
+  "bench_ext_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_txcache.dir/bench_micro_txcache.cpp.o"
+  "CMakeFiles/bench_micro_txcache.dir/bench_micro_txcache.cpp.o.d"
+  "bench_micro_txcache"
+  "bench_micro_txcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_txcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_tour.dir/mechanism_tour.cpp.o"
+  "CMakeFiles/mechanism_tour.dir/mechanism_tour.cpp.o.d"
+  "mechanism_tour"
+  "mechanism_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

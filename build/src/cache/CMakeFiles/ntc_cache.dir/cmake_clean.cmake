@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_cache.dir/array.cpp.o"
+  "CMakeFiles/ntc_cache.dir/array.cpp.o.d"
+  "CMakeFiles/ntc_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/ntc_cache.dir/hierarchy.cpp.o.d"
+  "libntc_cache.a"
+  "libntc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_common.dir/config.cpp.o"
+  "CMakeFiles/ntc_common.dir/config.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/event_queue.cpp.o"
+  "CMakeFiles/ntc_common.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/stats.cpp.o"
+  "CMakeFiles/ntc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ntc_common.dir/table.cpp.o"
+  "CMakeFiles/ntc_common.dir/table.cpp.o.d"
+  "libntc_common.a"
+  "libntc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

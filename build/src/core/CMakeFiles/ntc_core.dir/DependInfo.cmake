@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/core.cpp" "src/core/CMakeFiles/ntc_core.dir/core.cpp.o" "gcc" "src/core/CMakeFiles/ntc_core.dir/core.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/ntc_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/ntc_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/ntc_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/ntc_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ntc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/txcache/CMakeFiles/ntc_txcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ntc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ntc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_core.dir/core.cpp.o"
+  "CMakeFiles/ntc_core.dir/core.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/trace.cpp.o"
+  "CMakeFiles/ntc_core.dir/trace.cpp.o.d"
+  "CMakeFiles/ntc_core.dir/trace_io.cpp.o"
+  "CMakeFiles/ntc_core.dir/trace_io.cpp.o.d"
+  "libntc_core.a"
+  "libntc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

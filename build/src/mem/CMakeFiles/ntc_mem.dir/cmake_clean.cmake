@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_mem.dir/address_map.cpp.o"
+  "CMakeFiles/ntc_mem.dir/address_map.cpp.o.d"
+  "CMakeFiles/ntc_mem.dir/bank.cpp.o"
+  "CMakeFiles/ntc_mem.dir/bank.cpp.o.d"
+  "CMakeFiles/ntc_mem.dir/memory_controller.cpp.o"
+  "CMakeFiles/ntc_mem.dir/memory_controller.cpp.o.d"
+  "CMakeFiles/ntc_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/ntc_mem.dir/memory_system.cpp.o.d"
+  "libntc_mem.a"
+  "libntc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

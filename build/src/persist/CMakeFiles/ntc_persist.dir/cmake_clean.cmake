@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_persist.dir/kiln_unit.cpp.o"
+  "CMakeFiles/ntc_persist.dir/kiln_unit.cpp.o.d"
+  "CMakeFiles/ntc_persist.dir/policy.cpp.o"
+  "CMakeFiles/ntc_persist.dir/policy.cpp.o.d"
+  "CMakeFiles/ntc_persist.dir/sp_transform.cpp.o"
+  "CMakeFiles/ntc_persist.dir/sp_transform.cpp.o.d"
+  "libntc_persist.a"
+  "libntc_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recovery/images.cpp" "src/recovery/CMakeFiles/ntc_recovery.dir/images.cpp.o" "gcc" "src/recovery/CMakeFiles/ntc_recovery.dir/images.cpp.o.d"
+  "/root/repo/src/recovery/journal.cpp" "src/recovery/CMakeFiles/ntc_recovery.dir/journal.cpp.o" "gcc" "src/recovery/CMakeFiles/ntc_recovery.dir/journal.cpp.o.d"
+  "/root/repo/src/recovery/log_format.cpp" "src/recovery/CMakeFiles/ntc_recovery.dir/log_format.cpp.o" "gcc" "src/recovery/CMakeFiles/ntc_recovery.dir/log_format.cpp.o.d"
+  "/root/repo/src/recovery/recovery.cpp" "src/recovery/CMakeFiles/ntc_recovery.dir/recovery.cpp.o" "gcc" "src/recovery/CMakeFiles/ntc_recovery.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ntc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

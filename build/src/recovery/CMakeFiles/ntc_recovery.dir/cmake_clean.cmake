@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_recovery.dir/images.cpp.o"
+  "CMakeFiles/ntc_recovery.dir/images.cpp.o.d"
+  "CMakeFiles/ntc_recovery.dir/journal.cpp.o"
+  "CMakeFiles/ntc_recovery.dir/journal.cpp.o.d"
+  "CMakeFiles/ntc_recovery.dir/log_format.cpp.o"
+  "CMakeFiles/ntc_recovery.dir/log_format.cpp.o.d"
+  "CMakeFiles/ntc_recovery.dir/recovery.cpp.o"
+  "CMakeFiles/ntc_recovery.dir/recovery.cpp.o.d"
+  "libntc_recovery.a"
+  "libntc_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_io.cpp" "src/sim/CMakeFiles/ntc_sim.dir/config_io.cpp.o" "gcc" "src/sim/CMakeFiles/ntc_sim.dir/config_io.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/ntc_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/ntc_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/ntc_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/ntc_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/ntc_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/ntc_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/ntc_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/ntc_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/ntc_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/ntc_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ntc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ntc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ntc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txcache/CMakeFiles/ntc_txcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/ntc_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ntc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ntc_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_sim.dir/config_io.cpp.o"
+  "CMakeFiles/ntc_sim.dir/config_io.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/energy.cpp.o"
+  "CMakeFiles/ntc_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ntc_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/report.cpp.o"
+  "CMakeFiles/ntc_sim.dir/report.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/system.cpp.o"
+  "CMakeFiles/ntc_sim.dir/system.cpp.o.d"
+  "CMakeFiles/ntc_sim.dir/timeline.cpp.o"
+  "CMakeFiles/ntc_sim.dir/timeline.cpp.o.d"
+  "libntc_sim.a"
+  "libntc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

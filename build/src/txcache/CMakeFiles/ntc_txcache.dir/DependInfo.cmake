@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txcache/tx_cache.cpp" "src/txcache/CMakeFiles/ntc_txcache.dir/tx_cache.cpp.o" "gcc" "src/txcache/CMakeFiles/ntc_txcache.dir/tx_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ntc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ntc_recovery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_txcache.dir/tx_cache.cpp.o"
+  "CMakeFiles/ntc_txcache.dir/tx_cache.cpp.o.d"
+  "libntc_txcache.a"
+  "libntc_txcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_txcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/btree.cpp" "src/workload/CMakeFiles/ntc_workload.dir/btree.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/btree.cpp.o.d"
+  "/root/repo/src/workload/emitter.cpp" "src/workload/CMakeFiles/ntc_workload.dir/emitter.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/emitter.cpp.o.d"
+  "/root/repo/src/workload/graph.cpp" "src/workload/CMakeFiles/ntc_workload.dir/graph.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/graph.cpp.o.d"
+  "/root/repo/src/workload/hashtable.cpp" "src/workload/CMakeFiles/ntc_workload.dir/hashtable.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/hashtable.cpp.o.d"
+  "/root/repo/src/workload/queue.cpp" "src/workload/CMakeFiles/ntc_workload.dir/queue.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/queue.cpp.o.d"
+  "/root/repo/src/workload/rbtree.cpp" "src/workload/CMakeFiles/ntc_workload.dir/rbtree.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/rbtree.cpp.o.d"
+  "/root/repo/src/workload/sim_heap.cpp" "src/workload/CMakeFiles/ntc_workload.dir/sim_heap.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/sim_heap.cpp.o.d"
+  "/root/repo/src/workload/skiplist.cpp" "src/workload/CMakeFiles/ntc_workload.dir/skiplist.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/skiplist.cpp.o.d"
+  "/root/repo/src/workload/sps.cpp" "src/workload/CMakeFiles/ntc_workload.dir/sps.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/sps.cpp.o.d"
+  "/root/repo/src/workload/workloads.cpp" "src/workload/CMakeFiles/ntc_workload.dir/workloads.cpp.o" "gcc" "src/workload/CMakeFiles/ntc_workload.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ntc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/ntc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ntc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/txcache/CMakeFiles/ntc_txcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ntc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

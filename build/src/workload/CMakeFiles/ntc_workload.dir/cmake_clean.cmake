@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntc_workload.dir/btree.cpp.o"
+  "CMakeFiles/ntc_workload.dir/btree.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/emitter.cpp.o"
+  "CMakeFiles/ntc_workload.dir/emitter.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/graph.cpp.o"
+  "CMakeFiles/ntc_workload.dir/graph.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/hashtable.cpp.o"
+  "CMakeFiles/ntc_workload.dir/hashtable.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/queue.cpp.o"
+  "CMakeFiles/ntc_workload.dir/queue.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/rbtree.cpp.o"
+  "CMakeFiles/ntc_workload.dir/rbtree.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/sim_heap.cpp.o"
+  "CMakeFiles/ntc_workload.dir/sim_heap.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/skiplist.cpp.o"
+  "CMakeFiles/ntc_workload.dir/skiplist.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/sps.cpp.o"
+  "CMakeFiles/ntc_workload.dir/sps.cpp.o.d"
+  "CMakeFiles/ntc_workload.dir/workloads.cpp.o"
+  "CMakeFiles/ntc_workload.dir/workloads.cpp.o.d"
+  "libntc_workload.a"
+  "libntc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emitter.dir/test_emitter.cpp.o"
+  "CMakeFiles/test_emitter.dir/test_emitter.cpp.o.d"
+  "test_emitter"
+  "test_emitter.pdb"
+  "test_emitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

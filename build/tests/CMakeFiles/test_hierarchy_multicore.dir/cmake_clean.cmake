@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_multicore.dir/test_hierarchy_multicore.cpp.o"
+  "CMakeFiles/test_hierarchy_multicore.dir/test_hierarchy_multicore.cpp.o.d"
+  "test_hierarchy_multicore"
+  "test_hierarchy_multicore.pdb"
+  "test_hierarchy_multicore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

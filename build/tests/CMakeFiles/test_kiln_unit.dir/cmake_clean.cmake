@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kiln_unit.dir/test_kiln_unit.cpp.o"
+  "CMakeFiles/test_kiln_unit.dir/test_kiln_unit.cpp.o.d"
+  "test_kiln_unit"
+  "test_kiln_unit.pdb"
+  "test_kiln_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kiln_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_format.dir/test_log_format.cpp.o"
+  "CMakeFiles/test_log_format.dir/test_log_format.cpp.o.d"
+  "test_log_format"
+  "test_log_format.pdb"
+  "test_log_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntc_reference_model.dir/test_ntc_reference_model.cpp.o"
+  "CMakeFiles/test_ntc_reference_model.dir/test_ntc_reference_model.cpp.o.d"
+  "test_ntc_reference_model"
+  "test_ntc_reference_model.pdb"
+  "test_ntc_reference_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntc_reference_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

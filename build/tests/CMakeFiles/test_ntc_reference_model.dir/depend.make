@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ntc_reference_model.
+# This may be replaced when dependencies are built.

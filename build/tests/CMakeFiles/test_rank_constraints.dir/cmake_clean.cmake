@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_constraints.dir/test_rank_constraints.cpp.o"
+  "CMakeFiles/test_rank_constraints.dir/test_rank_constraints.cpp.o.d"
+  "test_rank_constraints"
+  "test_rank_constraints.pdb"
+  "test_rank_constraints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_fuzz.dir/test_recovery_fuzz.cpp.o"
+  "CMakeFiles/test_recovery_fuzz.dir/test_recovery_fuzz.cpp.o.d"
+  "test_recovery_fuzz"
+  "test_recovery_fuzz.pdb"
+  "test_recovery_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

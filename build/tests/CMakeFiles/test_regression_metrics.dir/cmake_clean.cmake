@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_metrics.dir/test_regression_metrics.cpp.o"
+  "CMakeFiles/test_regression_metrics.dir/test_regression_metrics.cpp.o.d"
+  "test_regression_metrics"
+  "test_regression_metrics.pdb"
+  "test_regression_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

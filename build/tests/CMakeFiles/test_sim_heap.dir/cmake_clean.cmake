@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_heap.dir/test_sim_heap.cpp.o"
+  "CMakeFiles/test_sim_heap.dir/test_sim_heap.cpp.o.d"
+  "test_sim_heap"
+  "test_sim_heap.pdb"
+  "test_sim_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp_transform.dir/test_sp_transform.cpp.o"
+  "CMakeFiles/test_sp_transform.dir/test_sp_transform.cpp.o.d"
+  "test_sp_transform"
+  "test_sp_transform.pdb"
+  "test_sp_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_phases.dir/test_system_phases.cpp.o"
+  "CMakeFiles/test_system_phases.dir/test_system_phases.cpp.o.d"
+  "test_system_phases"
+  "test_system_phases.pdb"
+  "test_system_phases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tx_cache.dir/test_tx_cache.cpp.o"
+  "CMakeFiles/test_tx_cache.dir/test_tx_cache.cpp.o.d"
+  "test_tx_cache"
+  "test_tx_cache.pdb"
+  "test_tx_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tx_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcsim_cli.dir/ntcsim.cpp.o"
+  "CMakeFiles/ntcsim_cli.dir/ntcsim.cpp.o.d"
+  "ntcsim"
+  "ntcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
