@@ -3,28 +3,45 @@
 // coupled to NVM write bandwidth. This sweep shows where one channel
 // suffices (the paper's configuration) and how SP's latency-bound penalty
 // barely moves with bandwidth.
+//
+// Usage: bench_ablation_channels [scale] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ntcsim;
   sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
   opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
 
-  std::cout << "Ablation: NVM channel count (line-interleaved)\n\n";
-  for (WorkloadKind wl : {WorkloadKind::kSps, WorkloadKind::kRbtree}) {
-    Table t({"channels", "Optimal tx/kc", "TC", "TC/Opt", "SP", "SP/Opt"});
-    for (unsigned ch : {1u, 2u, 4u}) {
+  const WorkloadKind kWls[] = {WorkloadKind::kSps, WorkloadKind::kRbtree};
+  const unsigned kChannels[] = {1u, 2u, 4u};
+  const Mechanism kMechs[] = {Mechanism::kOptimal, Mechanism::kTc,
+                              Mechanism::kSp};
+
+  std::vector<sim::JobSpec> specs;
+  for (WorkloadKind wl : kWls) {
+    for (unsigned ch : kChannels) {
       SystemConfig cfg = SystemConfig::experiment();
       cfg.nvm.channels = ch;
-      const double opt =
-          sim::run_cell(Mechanism::kOptimal, wl, cfg, opts).tx_per_kilocycle;
-      const double tc =
-          sim::run_cell(Mechanism::kTc, wl, cfg, opts).tx_per_kilocycle;
-      const double sp =
-          sim::run_cell(Mechanism::kSp, wl, cfg, opts).tx_per_kilocycle;
+      for (Mechanism mech : kMechs) {
+        specs.push_back({mech, wl, cfg, opts});
+      }
+    }
+  }
+  const std::vector<sim::Metrics> cells = sim::run_sweep(specs, opts.jobs);
+
+  std::cout << "Ablation: NVM channel count (line-interleaved)\n\n";
+  std::size_t i = 0;
+  for (WorkloadKind wl : kWls) {
+    Table t({"channels", "Optimal tx/kc", "TC", "TC/Opt", "SP", "SP/Opt"});
+    for (unsigned ch : kChannels) {
+      const double opt = cells[i++].tx_per_kilocycle;
+      const double tc = cells[i++].tx_per_kilocycle;
+      const double sp = cells[i++].tx_per_kilocycle;
       t.add_row(std::to_string(ch),
                 {opt, tc, opt > 0 ? tc / opt : 0, sp, opt > 0 ? sp / opt : 0});
     }

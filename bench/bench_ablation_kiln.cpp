@@ -1,11 +1,16 @@
 // Ablation A4 — Kiln commit-engine sensitivity: how the flush cost per
 // line moves Kiln between "almost TC" and "almost SP" (contextualizes the
 // baseline's Fig. 6/7 position).
+//
+// Usage: bench_ablation_kiln [scale] [--jobs=N]
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "persist/kiln_unit.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "sim/system.hpp"
 #include "workload/workloads.hpp"
 
@@ -48,22 +53,31 @@ int main(int argc, char** argv) {
   opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
   const WorkloadKind wl = WorkloadKind::kRbtree;
 
-  SystemConfig base = SystemConfig::experiment();
-  const sim::Metrics opt =
-      sim::run_cell(Mechanism::kOptimal, wl, base, opts);
+  const std::vector<std::pair<unsigned, unsigned>> kPoints = {
+      {10, 2}, {25, 5}, {40, 10}, {80, 20}, {160, 40}};
+
+  // Each sweep point builds its own System, so the whole table — baseline
+  // included — parallelizes with run_jobs (index 0 is the Optimal cell).
+  const auto cells =
+      sim::run_jobs(kPoints.size() + 1, opts.jobs, [&](std::size_t i) {
+        if (i == 0) {
+          SystemConfig base = SystemConfig::experiment();
+          return sim::run_cell(Mechanism::kOptimal, wl, base, opts);
+        }
+        persist::KilnConfig kc;
+        kc.commit_fixed_cycles = kPoints[i - 1].first;
+        kc.cycles_per_line = kPoints[i - 1].second;
+        return run_kiln(wl, kc, opts.scale);
+      });
+  const sim::Metrics& opt = cells[0];
 
   std::cout << "Ablation: Kiln commit cost (rbtree; Optimal = "
             << Table::fmt(opt.tx_per_kilocycle, 3) << " tx/kcycle)\n\n";
   Table t({"fixed cy", "cy/line", "tx/kcycle", "vs Optimal", "pload lat"});
-  for (const auto& [fixed, per_line] :
-       std::initializer_list<std::pair<unsigned, unsigned>>{
-           {10, 2}, {25, 5}, {40, 10}, {80, 20}, {160, 40}}) {
-    persist::KilnConfig kc;
-    kc.commit_fixed_cycles = fixed;
-    kc.cycles_per_line = per_line;
-    const sim::Metrics m = run_kiln(wl, kc, opts.scale);
-    t.add_row(std::to_string(fixed),
-              {static_cast<double>(per_line), m.tx_per_kilocycle,
+  for (std::size_t i = 0; i < kPoints.size(); ++i) {
+    const sim::Metrics& m = cells[i + 1];
+    t.add_row(std::to_string(kPoints[i].first),
+              {static_cast<double>(kPoints[i].second), m.tx_per_kilocycle,
                m.tx_per_kilocycle / opt.tx_per_kilocycle, m.pload_latency});
   }
   t.print(std::cout);

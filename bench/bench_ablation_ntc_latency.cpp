@@ -3,23 +3,39 @@
 // port rate (one insert per access), so the paper's 0.5 ns STT-RAM point
 // has slack — performance degrades only once the port rate approaches the
 // store rate.
+//
+// Usage: bench_ablation_ntc_latency [scale] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ntcsim;
   sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
   opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
 
-  std::cout << "Ablation: TC performance vs transaction-cache latency\n\n";
-  for (WorkloadKind wl : {WorkloadKind::kHashtable, WorkloadKind::kSps}) {
-    Table t({"NTC latency", "tx/kcycle", "NTC stall frac"});
-    for (unsigned cycles : {1u, 2u, 4u, 10u, 20u, 40u}) {
+  const WorkloadKind kWls[] = {WorkloadKind::kHashtable, WorkloadKind::kSps};
+  const unsigned kLatencies[] = {1u, 2u, 4u, 10u, 20u, 40u};
+
+  std::vector<sim::JobSpec> specs;
+  for (WorkloadKind wl : kWls) {
+    for (unsigned cycles : kLatencies) {
       SystemConfig cfg = SystemConfig::experiment();
       cfg.ntc.latency_cycles = cycles;
-      const sim::Metrics m = sim::run_cell(Mechanism::kTc, wl, cfg, opts);
+      specs.push_back({Mechanism::kTc, wl, cfg, opts});
+    }
+  }
+  const std::vector<sim::Metrics> cells = sim::run_sweep(specs, opts.jobs);
+
+  std::cout << "Ablation: TC performance vs transaction-cache latency\n\n";
+  std::size_t i = 0;
+  for (WorkloadKind wl : kWls) {
+    Table t({"NTC latency", "tx/kcycle", "NTC stall frac"});
+    for (unsigned cycles : kLatencies) {
+      const sim::Metrics& m = cells[i++];
       t.add_row(std::to_string(cycles * 0.5).substr(0, 4) + " ns",
                 {m.tx_per_kilocycle, m.ntc_stall_frac});
     }

@@ -2,29 +2,49 @@
 // The paper argues a 4 KB/core NTC is enough: "the CPU hardly stalls...
 // only sps, the benchmark with the highest write intensity, stalls for
 // 0.67 % of execution time." This sweep shows where that breaks.
+//
+// Usage: bench_ablation_ntc_size [scale] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ntcsim;
   sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
   opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
 
-  std::cout << "Ablation: TC throughput and stall fraction vs NTC capacity\n"
-               "(4 KB/core is the paper's default)\n\n";
-  for (WorkloadKind wl : {WorkloadKind::kSps, WorkloadKind::kRbtree}) {
+  const WorkloadKind kWls[] = {WorkloadKind::kSps, WorkloadKind::kRbtree};
+  const std::uint64_t kSizesKb[] = {1, 2, 4, 8, 16};
+
+  // All cells — the per-workload Optimal baseline plus the five TC
+  // capacity points — are independent; sweep them in one batch.
+  std::vector<sim::JobSpec> specs;
+  for (WorkloadKind wl : kWls) {
     SystemConfig base = SystemConfig::experiment();
     base.mechanism = Mechanism::kOptimal;
-    const sim::Metrics opt = sim::run_cell(Mechanism::kOptimal, wl, base, opts);
-
-    Table t({"NTC size", "tx/kcycle", "vs Optimal", "NTC stall frac",
-             "overflow spills"});
-    for (std::uint64_t kb : {1ULL, 2ULL, 4ULL, 8ULL, 16ULL}) {
+    specs.push_back({Mechanism::kOptimal, wl, base, opts});
+    for (std::uint64_t kb : kSizesKb) {
       SystemConfig cfg = SystemConfig::experiment();
       cfg.ntc.size_bytes = (kb << 10) / 2;  // sweep 0.5K..8K
-      const sim::Metrics m = sim::run_cell(Mechanism::kTc, wl, cfg, opts);
+      specs.push_back({Mechanism::kTc, wl, cfg, opts});
+    }
+  }
+  const std::vector<sim::Metrics> cells = sim::run_sweep(specs, opts.jobs);
+
+  std::cout << "Ablation: TC throughput and stall fraction vs NTC capacity\n"
+               "(4 KB/core is the paper's default)\n\n";
+  std::size_t i = 0;
+  for (WorkloadKind wl : kWls) {
+    const sim::Metrics& opt = cells[i++];
+    Table t({"NTC size", "tx/kcycle", "vs Optimal", "NTC stall frac",
+             "overflow spills"});
+    for (std::uint64_t kb : kSizesKb) {
+      (void)kb;
+      const SystemConfig& cfg = specs[i].cfg;
+      const sim::Metrics& m = cells[i++];
       t.add_row(std::to_string(cfg.ntc.size_bytes) + " B (" +
                     std::to_string(cfg.ntc.entries()) + " entries)",
                 {m.tx_per_kilocycle, m.tx_per_kilocycle / opt.tx_per_kilocycle,

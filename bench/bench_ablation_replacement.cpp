@@ -2,10 +2,14 @@
 // simulators use LRU; this sweep checks that the TC-vs-Optimal story is not
 // an LRU artifact (the hooks never touch victim selection, so it shouldn't
 // be) and how Kiln's pinning composes with RRIP-style policies.
+//
+// Usage: bench_ablation_replacement [scale] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ntcsim;
@@ -13,16 +17,29 @@ int main(int argc, char** argv) {
   opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
   const WorkloadKind wl = WorkloadKind::kRbtree;
 
-  std::cout << "Ablation: LLC replacement policy (rbtree)\n\n";
-  Table t({"policy", "Optimal tx/kc", "TC/Opt", "Kiln/Opt", "Opt miss rate"});
-  for (ReplacementPolicy pol : {ReplacementPolicy::kLru,
-                                ReplacementPolicy::kRandom,
-                                ReplacementPolicy::kSrrip}) {
+  const ReplacementPolicy kPolicies[] = {ReplacementPolicy::kLru,
+                                         ReplacementPolicy::kRandom,
+                                         ReplacementPolicy::kSrrip};
+  const Mechanism kMechs[] = {Mechanism::kOptimal, Mechanism::kTc,
+                              Mechanism::kKiln};
+
+  std::vector<sim::JobSpec> specs;
+  for (ReplacementPolicy pol : kPolicies) {
     SystemConfig cfg = SystemConfig::experiment();
     cfg.llc.replacement = pol;
-    const sim::Metrics opt = sim::run_cell(Mechanism::kOptimal, wl, cfg, opts);
-    const sim::Metrics tc = sim::run_cell(Mechanism::kTc, wl, cfg, opts);
-    const sim::Metrics kiln = sim::run_cell(Mechanism::kKiln, wl, cfg, opts);
+    for (Mechanism mech : kMechs) {
+      specs.push_back({mech, wl, cfg, opts});
+    }
+  }
+  const std::vector<sim::Metrics> cells = sim::run_sweep(specs, opts.jobs);
+
+  std::cout << "Ablation: LLC replacement policy (rbtree)\n\n";
+  Table t({"policy", "Optimal tx/kc", "TC/Opt", "Kiln/Opt", "Opt miss rate"});
+  std::size_t i = 0;
+  for (ReplacementPolicy pol : kPolicies) {
+    const sim::Metrics& opt = cells[i++];
+    const sim::Metrics& tc = cells[i++];
+    const sim::Metrics& kiln = cells[i++];
     t.add_row(std::string(to_string(pol)),
               {opt.tx_per_kilocycle,
                tc.tx_per_kilocycle / opt.tx_per_kilocycle,

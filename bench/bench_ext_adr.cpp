@@ -2,10 +2,15 @@
 // deprecated pcommit in 2016 because the controller's write queue joined
 // the persistence domain, turning SP's NVM-array round trips into fence
 // waits. How much of the gap to the paper's accelerator does that close?
+//
+// Usage: bench_ext_adr [scale] [--jobs=N]
 #include <iostream>
+#include <map>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ntcsim;
@@ -13,28 +18,38 @@ int main(int argc, char** argv) {
   opts.scale *= 0.5;  // ablations sweep many cells; half-length runs suffice
   const SystemConfig cfg = SystemConfig::experiment();
 
+  const WorkloadKind kWls[] = {WorkloadKind::kSps, WorkloadKind::kRbtree,
+                               WorkloadKind::kHashtable};
+  const Mechanism kMechs[] = {Mechanism::kSp, Mechanism::kSpAdr,
+                              Mechanism::kTc, Mechanism::kKiln};
+
+  std::vector<sim::JobSpec> specs;
+  for (WorkloadKind wl : kWls) {
+    specs.push_back({Mechanism::kOptimal, wl, cfg, opts});
+    for (Mechanism mech : kMechs) {
+      specs.push_back({mech, wl, cfg, opts});
+    }
+  }
+  const std::vector<sim::Metrics> cells = sim::run_sweep(specs, opts.jobs);
+
   std::cout
       << "Extension: software persistence on an ADR platform vs the paper's\n"
          "mechanisms (throughput normalized to Optimal)\n\n";
   Table t({"workload", "SP", "SP-ADR", "TC", "Kiln"});
   std::map<Mechanism, std::vector<double>> cols;
-  for (WorkloadKind wl :
-       {WorkloadKind::kSps, WorkloadKind::kRbtree, WorkloadKind::kHashtable}) {
-    const double base =
-        sim::run_cell(Mechanism::kOptimal, wl, cfg, opts).tx_per_kilocycle;
-    std::vector<double> cells;
-    for (Mechanism mech : {Mechanism::kSp, Mechanism::kSpAdr, Mechanism::kTc,
-                           Mechanism::kKiln}) {
-      const double v =
-          sim::run_cell(mech, wl, cfg, opts).tx_per_kilocycle / base;
-      cells.push_back(v);
+  std::size_t i = 0;
+  for (WorkloadKind wl : kWls) {
+    const double base = cells[i++].tx_per_kilocycle;
+    std::vector<double> row;
+    for (Mechanism mech : kMechs) {
+      const double v = cells[i++].tx_per_kilocycle / base;
+      row.push_back(v);
       cols[mech].push_back(v);
     }
-    t.add_row(std::string(to_string(wl)), cells);
+    t.add_row(std::string(to_string(wl)), row);
   }
   std::vector<double> gmeans;
-  for (Mechanism mech : {Mechanism::kSp, Mechanism::kSpAdr, Mechanism::kTc,
-                         Mechanism::kKiln}) {
+  for (Mechanism mech : kMechs) {
     gmeans.push_back(sim::geometric_mean(cols[mech]));
   }
   t.add_row("gmean", gmeans);

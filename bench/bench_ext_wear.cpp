@@ -2,10 +2,14 @@
 // concentration by mechanism. SP hammers its log region; TC spreads
 // committed lines but writes every transaction; Kiln and Optimal coalesce
 // in caches. Max-writes-per-line is the wear-leveling budget driver.
+//
+// Usage: bench_ext_wear [scale] [--jobs=N]
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "sim/system.hpp"
 #include "workload/workloads.hpp"
 
@@ -33,15 +37,28 @@ mem::WearStats run_wear(Mechanism mech, WorkloadKind wl, double scale) {
 int main(int argc, char** argv) {
   sim::ExperimentOptions opts = sim::parse_bench_args(argc, argv);
   opts.scale *= 0.5;  // sweeps many cells; half-length runs suffice
+
+  const WorkloadKind kWls[] = {WorkloadKind::kSps, WorkloadKind::kQueue,
+                               WorkloadKind::kHashtable};
+  const Mechanism kMechs[] = {Mechanism::kOptimal, Mechanism::kTc,
+                              Mechanism::kKiln, Mechanism::kSp};
+
+  // Custom per-cell runner (WearStats, not Metrics), so the parallel
+  // fan-out goes through run_jobs rather than run_sweep.
+  const auto cells = sim::run_jobs(
+      std::size(kWls) * std::size(kMechs), opts.jobs, [&](std::size_t i) {
+        return run_wear(kMechs[i % std::size(kMechs)],
+                        kWls[i / std::size(kMechs)], opts.scale);
+      });
+
   std::cout << "Extension: NVM per-line wear (whole run incl. setup)\n"
                "max = hottest line's array writes; the wear-leveling driver\n\n";
-  for (WorkloadKind wl : {WorkloadKind::kSps, WorkloadKind::kQueue,
-                          WorkloadKind::kHashtable}) {
+  std::size_t i = 0;
+  for (WorkloadKind wl : kWls) {
     Table t({"mechanism", "lines touched", "total writes", "max/line",
              "mean/line"});
-    for (Mechanism mech : {Mechanism::kOptimal, Mechanism::kTc,
-                           Mechanism::kKiln, Mechanism::kSp}) {
-      const mem::WearStats w = run_wear(mech, wl, opts.scale);
+    for (Mechanism mech : kMechs) {
+      const mem::WearStats& w = cells[i++];
       t.add_row(std::string(to_string(mech)),
                 {static_cast<double>(w.lines_touched),
                  static_cast<double>(w.total_writes),

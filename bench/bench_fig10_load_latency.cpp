@@ -1,6 +1,8 @@
 // Figure 10 — CPU persistent-load latency normalized to Optimal. Paper:
 // Kiln is the clear worst (commit flushes block cache and memory requests,
 // bursts of traffic); TC tracks Optimal.
+//
+// Usage: bench_fig10_load_latency [scale] [--jobs=N]
 #include <iostream>
 
 #include "sim/experiment.hpp"

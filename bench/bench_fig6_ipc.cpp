@@ -1,7 +1,9 @@
 // Figure 6 — normalized IPC of SP / TC / Kiln / Optimal over the five
 // workloads. Paper: SP ~= 0.477, TC ~= 0.985, Kiln ~= 0.878 of Optimal.
 //
-// Usage: bench_fig6_ipc [scale]   (scale < 1 shrinks the measured phase)
+// Usage: bench_fig6_ipc [scale] [--jobs=N]
+//   scale < 1 shrinks the measured phase; --jobs runs the 20 matrix cells
+//   on N worker threads (default: all cores), bit-identical to serial.
 #include <iostream>
 
 #include "sim/experiment.hpp"

@@ -1,5 +1,7 @@
 // Figure 7 — normalized transaction throughput (transactions per cycle).
 // Paper: SP ~= 0.306, TC ~= 0.985, Kiln ~= 0.878 of Optimal.
+//
+// Usage: bench_fig7_throughput [scale] [--jobs=N]
 #include <iostream>
 
 #include "sim/experiment.hpp"

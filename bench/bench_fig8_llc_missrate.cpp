@@ -1,6 +1,8 @@
 // Figure 8 — LLC miss rate normalized to Optimal. Paper: Kiln incurs ~6 %
 // higher LLC miss rate (uncommitted blocks held in the LLC shrink its
 // usable capacity); TC matches Optimal.
+//
+// Usage: bench_fig8_llc_missrate [scale] [--jobs=N]
 #include <iostream>
 
 #include "sim/experiment.hpp"

@@ -2,6 +2,8 @@
 // close to 2x (logging + cache flushes); TC and Kiln in between, with
 // TC > Kiln (TC writes every committed transaction to NVM, Kiln coalesces
 // in the nonvolatile LLC).
+//
+// Usage: bench_fig9_write_traffic [scale] [--jobs=N]
 #include <iostream>
 
 #include "common/table.hpp"

@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/table.hpp"
 #include "recovery/journal.hpp"
+#include "sim/sweep.hpp"
 
 namespace ntcsim::sim {
 
@@ -23,6 +24,9 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
   params.ops = static_cast<std::size_t>(
       static_cast<double>(params.ops) * opts.scale);
   if (params.ops == 0) params.ops = 1;
+  params.setup_elems = static_cast<std::size_t>(
+      static_cast<double>(params.setup_elems) * opts.setup_scale);
+  if (params.setup_elems == 0) params.setup_elems = 1;
 
   workload::SimHeap heap(cfg.address_space, cfg.cores);
   std::vector<workload::TraceBundle> bundles;
@@ -45,10 +49,18 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
 }
 
 Matrix run_matrix(const SystemConfig& base, const ExperimentOptions& opts) {
-  Matrix m;
+  std::vector<JobSpec> specs;
   for (WorkloadKind wl : kAllWorkloads) {
     for (Mechanism mech : kAllMechanisms) {
-      m[wl][mech] = run_cell(mech, wl, base, opts);
+      specs.push_back({mech, wl, base, opts});
+    }
+  }
+  const std::vector<Metrics> cells = run_sweep(specs, opts.jobs);
+  Matrix m;
+  std::size_t i = 0;
+  for (WorkloadKind wl : kAllWorkloads) {
+    for (Mechanism mech : kAllMechanisms) {
+      m[wl][mech] = cells[i++];
     }
   }
   return m;
@@ -98,14 +110,25 @@ void print_figure(std::ostream& os, const std::string& title,
 
 ExperimentOptions parse_bench_args(int argc, char** argv) {
   ExperimentOptions opts;
-  if (argc > 1) {
-    const double s = std::atof(argv[1]);
-    if (s > 0.0) opts.scale = s;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--jobs=", 0) == 0) {
+      const long n = std::atol(a.c_str() + 7);
+      if (n > 0) opts.jobs = static_cast<unsigned>(n);
+    } else if (a.rfind("--scale=", 0) == 0) {
+      const double s = std::atof(a.c_str() + 8);
+      if (s > 0.0) opts.scale = s;
+    } else if (a.rfind("--", 0) != 0) {
+      const double s = std::atof(a.c_str());
+      if (s > 0.0) opts.scale = s;
+    }
   }
   if (const char* env = std::getenv("NTCSIM_SCALE")) {
     const double s = std::atof(env);
     if (s > 0.0) opts.scale = s;
   }
+  // opts.jobs == 0 ("auto") defers to NTCSIM_JOBS / hardware_concurrency
+  // inside default_jobs(), so the flag wins over the environment.
   return opts;
 }
 

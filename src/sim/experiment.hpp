@@ -23,20 +23,29 @@ inline constexpr WorkloadKind kAllWorkloads[] = {
     WorkloadKind::kBtree, WorkloadKind::kHashtable};
 
 struct ExperimentOptions {
-  /// Scale factor on measured ops (and proportionally setup), letting bench
-  /// binaries offer a quick mode (`<bench> 0.2`).
+  /// Scale factor on measured ops, letting bench binaries offer a quick
+  /// mode (`<bench> 0.2` or `--scale=0.2`).
   double scale = 1.0;
+  /// Scale factor on the setup-phase structure size. Defaults to full
+  /// size (the figures' cache pressure depends on it); tests shrink it to
+  /// keep whole-matrix runs cheap.
+  double setup_scale = 1.0;
   std::uint64_t seed = 1;
   /// Skip functional recovery tracking for pure performance sweeps (~15 %
   /// faster); the figure benches leave it on.
   bool track_recovery = false;
+  /// Worker threads for run_matrix / run_sweep. 0 = auto (NTCSIM_JOBS or
+  /// hardware_concurrency, see sweep.hpp); 1 = the serial path.
+  unsigned jobs = 0;
 };
 
 /// One cell of the evaluation matrix.
 Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
                  const ExperimentOptions& opts = {});
 
-/// Full matrix; cells[workload][mechanism].
+/// Full matrix; cells[workload][mechanism]. Cells run on opts.jobs worker
+/// threads (see sweep.hpp); results are bit-identical to the serial path
+/// because every cell is an independent simulation.
 using Matrix = std::map<WorkloadKind, std::map<Mechanism, Metrics>>;
 Matrix run_matrix(const SystemConfig& base, const ExperimentOptions& opts = {});
 
@@ -47,7 +56,9 @@ void print_figure(std::ostream& os, const std::string& title,
                   const Matrix& matrix, double (*metric)(const Metrics&),
                   const std::string& caption);
 
-/// Parse bench argv: optional positional scale factor.
+/// Parse bench argv: optional positional scale factor, `--scale=X`, and
+/// `--jobs=N` (worker threads; NTCSIM_JOBS is the env equivalent, the flag
+/// wins). NTCSIM_SCALE overrides any argv scale.
 ExperimentOptions parse_bench_args(int argc, char** argv);
 
 double geometric_mean(const std::vector<double>& v);

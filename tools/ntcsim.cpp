@@ -7,6 +7,7 @@
 //   ntcsim --workload=sps --mechanism=sp --ops=2000 --cores=2 --csv
 //   ntcsim --config=machine.cfg --set llc.size_kb=1024
 //   ntcsim --workload=hashtable --mechanism=tc --crash-at=50000
+//   ntcsim --matrix --jobs=8 --csv
 //   ntcsim --dump-config
 #include <cstdio>
 #include <cstring>
@@ -17,7 +18,9 @@
 
 #include "recovery/recovery.hpp"
 #include "sim/config_io.hpp"
+#include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/sweep.hpp"
 #include "sim/system.hpp"
 #include "workload/workloads.hpp"
 
@@ -39,6 +42,11 @@ void usage() {
       "  --lookup=PCT         percentage of measured ops that are searches\n"
       "  --seed=N             workload RNG seed\n"
       "  --crash-at=CYCLE     crash in the measured phase, recover, check\n"
+      "  --matrix             run the full workload x mechanism evaluation\n"
+      "                       matrix instead of a single cell\n"
+      "  --jobs=N             worker threads for --matrix (default: all\n"
+      "                       cores; NTCSIM_JOBS is the env equivalent)\n"
+      "  --scale=X            scale factor on measured ops for --matrix\n"
       "  --csv                machine-readable one-row output\n"
       "  --stats              dump every raw statistic after the run\n"
       "  --dump-config        print the effective configuration and exit\n"
@@ -53,6 +61,9 @@ struct Cli {
   workload::WorkloadParams params;
   bool have_params = false;
   Cycle crash_at = 0;
+  bool matrix = false;
+  unsigned jobs = 0;  // 0 = auto
+  double scale = 1.0;
   bool csv = false;
   bool stats = false;
   bool dump_config = false;
@@ -123,6 +134,12 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       seed = value();
     } else if (a.rfind("--crash-at=", 0) == 0) {
       cli.crash_at = std::stoull(value());
+    } else if (a == "--matrix") {
+      cli.matrix = true;
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      cli.jobs = static_cast<unsigned>(std::stoul(value()));
+    } else if (a.rfind("--scale=", 0) == 0) {
+      cli.scale = std::stod(value());
     } else if (a == "--csv") {
       cli.csv = true;
     } else if (a == "--stats") {
@@ -145,6 +162,30 @@ bool parse_args(int argc, char** argv, Cli& cli) {
   }
   if (!seed.empty()) cli.params.seed = std::stoull(seed);
   return true;
+}
+
+// --matrix: the full mechanism x workload evaluation of the paper's §5 in
+// one invocation, cells fanned out over worker threads. CSV mode emits one
+// row per cell; otherwise the Fig. 6/7-style normalized tables print.
+int run_matrix_mode(const Cli& cli) {
+  sim::ExperimentOptions opts;
+  opts.scale = cli.scale;
+  opts.seed = cli.params.seed;
+  opts.jobs = cli.jobs;
+  const sim::Matrix matrix = sim::run_matrix(cli.cfg, opts);
+  if (cli.csv) {
+    sim::write_matrix_csv(std::cout, matrix);
+    return 0;
+  }
+  sim::print_figure(
+      std::cout, "Matrix: IPC", matrix,
+      [](const sim::Metrics& m) { return m.ipc; },
+      "IPC normalized to Optimal; higher is better.");
+  sim::print_figure(
+      std::cout, "Matrix: throughput", matrix,
+      [](const sim::Metrics& m) { return m.tx_per_kilocycle; },
+      "Transactions/kcycle normalized to Optimal; higher is better.");
+  return 0;
 }
 
 int run(const Cli& cli) {
@@ -230,5 +271,6 @@ int main(int argc, char** argv) {
     sim::write_config(std::cout, cli.cfg);
     return 0;
   }
+  if (cli.matrix) return run_matrix_mode(cli);
   return run(cli);
 }
