@@ -12,13 +12,15 @@ CacheArray::CacheArray(const CacheConfig& cfg)
     : sets_(cfg.sets()), ways_(cfg.ways), policy_(cfg.replacement) {
   NTC_ASSERT(sets_ > 0 && is_pow2(sets_), "cache set count must be a power of two");
   lines_.resize(sets_ * ways_);
+  tags_.assign(sets_ * ways_, kNoTag);
 }
 
 Line* CacheArray::lookup(Addr line_addr, bool touch) {
-  const std::uint64_t s = set_of(line_addr);
+  const std::size_t base = set_of(line_addr) * ways_;
+  const Addr* tags = tags_.data() + base;
   for (unsigned w = 0; w < ways_; ++w) {
-    Line& line = lines_[s * ways_ + w];
-    if (line.valid && line.tag == line_addr) {
+    if (tags[w] == line_addr) {
+      Line& line = lines_[base + w];
       if (touch) {
         line.lru = ++lru_clock_;
         line.rrpv = 0;  // SRRIP: near-immediate re-reference on a hit
@@ -30,10 +32,9 @@ Line* CacheArray::lookup(Addr line_addr, bool touch) {
 }
 
 const Line* CacheArray::peek(Addr line_addr) const {
-  const std::uint64_t s = set_of(line_addr);
+  const std::size_t base = set_of(line_addr) * ways_;
   for (unsigned w = 0; w < ways_; ++w) {
-    const Line& line = lines_[s * ways_ + w];
-    if (line.valid && line.tag == line_addr) return &line;
+    if (tags_[base + w] == line_addr) return &lines_[base + w];
   }
   return nullptr;
 }
@@ -104,6 +105,7 @@ Line* CacheArray::allocate(Addr line_addr, std::optional<Eviction>& evicted) {
   victim->valid = true;
   victim->lru = ++lru_clock_;
   victim->rrpv = 2;  // SRRIP insertion: long (not distant) re-reference
+  tags_[static_cast<std::size_t>(victim - lines_.data())] = line_addr;
   return victim;
 }
 
@@ -113,6 +115,7 @@ std::optional<Eviction> CacheArray::invalidate(Addr line_addr) {
   Eviction ev{line->tag, line->dirty, line->persistent, line->presence};
   if (line->pinned) note_pin(false);
   *line = Line{};
+  tags_[static_cast<std::size_t>(line - lines_.data())] = kNoTag;
   return ev;
 }
 

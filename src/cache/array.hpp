@@ -64,6 +64,8 @@ class CacheArray {
   }
 
   /// Iterate all valid lines (used by flush-everything paths and tests).
+  /// Read-only with respect to tag/valid: invalidation must go through
+  /// invalidate() so the packed tag probe array stays coherent.
   template <typename Fn>
   void for_each_valid(Fn&& fn) {
     for (auto& line : lines_) {
@@ -72,6 +74,10 @@ class CacheArray {
   }
 
  private:
+  /// tags_ sentinel for an invalid way. Line addresses are line-aligned,
+  /// so an all-ones value can never match a real tag.
+  static constexpr Addr kNoTag = ~Addr{0};
+
   std::uint64_t set_of(Addr line_addr) const {
     return (line_addr >> kLineShift) & (sets_ - 1);
   }
@@ -82,6 +88,11 @@ class CacheArray {
   unsigned ways_;
   ReplacementPolicy policy_;
   std::vector<Line> lines_;  ///< sets_ * ways_, set-major.
+  /// Packed tag probe array, parallel to lines_. The hit probe — by far
+  /// the hottest loop here — touches one dense cache line per set instead
+  /// of striding through 40-byte Line records (open-addressed within the
+  /// set: compare every way's tag word, no indirection).
+  std::vector<Addr> tags_;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t pinned_count_ = 0;
   std::uint64_t rng_ = 0x9e3779b97f4a7c15ULL;  ///< kRandom victim stream.

@@ -22,18 +22,18 @@ Hierarchy::Hierarchy(const SystemConfig& cfg, mem::MemorySystem& mem,
     l2_.push_back(std::make_unique<CacheArray>(cfg_.l2));
   }
   l1_miss_.resize(cfg_.cores);
-  stat_l1_hits_ = &stats_->counter("l1.hits");
-  stat_l1_misses_ = &stats_->counter("l1.misses");
-  stat_l2_hits_ = &stats_->counter("l2.hits");
-  stat_l2_misses_ = &stats_->counter("l2.misses");
-  stat_llc_hits_ = &stats_->counter("llc.hits");
-  stat_llc_misses_ = &stats_->counter("llc.misses");
-  stat_llc_wb_ = &stats_->counter("llc.writebacks");
-  stat_llc_wb_dropped_ = &stats_->counter("llc.wb_dropped");
-  stat_ntc_probe_hits_ = &stats_->counter("llc.ntc_probe_hits");
-  stat_llc_bypass_ = &stats_->counter("llc.bypass_fills");
-  stat_clwb_ = &stats_->counter("hier.clwb");
-  stat_reject_ = &stats_->counter("hier.rejects");
+  stat_l1_hits_ = CounterHandle(*stats_, "l1.hits");
+  stat_l1_misses_ = CounterHandle(*stats_, "l1.misses");
+  stat_l2_hits_ = CounterHandle(*stats_, "l2.hits");
+  stat_l2_misses_ = CounterHandle(*stats_, "l2.misses");
+  stat_llc_hits_ = CounterHandle(*stats_, "llc.hits");
+  stat_llc_misses_ = CounterHandle(*stats_, "llc.misses");
+  stat_llc_wb_ = CounterHandle(*stats_, "llc.writebacks");
+  stat_llc_wb_dropped_ = CounterHandle(*stats_, "llc.wb_dropped");
+  stat_ntc_probe_hits_ = CounterHandle(*stats_, "llc.ntc_probe_hits");
+  stat_llc_bypass_ = CounterHandle(*stats_, "llc.bypass_fills");
+  stat_clwb_ = CounterHandle(*stats_, "hier.clwb");
+  stat_reject_ = CounterHandle(*stats_, "hier.rejects");
 }
 
 Cycle Hierarchy::llc_ready_delay(Cycle now) const {

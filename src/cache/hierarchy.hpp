@@ -20,6 +20,7 @@
 #include "cache/array.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/memory_system.hpp"
@@ -151,18 +152,18 @@ class Hierarchy {
   Cycle llc_blocked_until_ = 0;
   Cycle now_ = 0;  ///< Updated by tick(); used by memory callbacks.
 
-  Counter* stat_l1_hits_;
-  Counter* stat_l1_misses_;
-  Counter* stat_l2_hits_;
-  Counter* stat_l2_misses_;
-  Counter* stat_llc_hits_;
-  Counter* stat_llc_misses_;
-  Counter* stat_llc_wb_;
-  Counter* stat_llc_wb_dropped_;
-  Counter* stat_ntc_probe_hits_;
-  Counter* stat_llc_bypass_;
-  Counter* stat_clwb_;
-  Counter* stat_reject_;
+  CounterHandle stat_l1_hits_;
+  CounterHandle stat_l1_misses_;
+  CounterHandle stat_l2_hits_;
+  CounterHandle stat_l2_misses_;
+  CounterHandle stat_llc_hits_;
+  CounterHandle stat_llc_misses_;
+  CounterHandle stat_llc_wb_;
+  CounterHandle stat_llc_wb_dropped_;
+  CounterHandle stat_ntc_probe_hits_;
+  CounterHandle stat_llc_bypass_;
+  CounterHandle stat_clwb_;
+  CounterHandle stat_reject_;
 };
 
 }  // namespace ntcsim::cache

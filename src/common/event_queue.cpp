@@ -4,22 +4,48 @@
 
 namespace ntcsim {
 
-void EventQueue::schedule_at(Cycle when, Callback cb) {
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+void EventQueue::sift_up_(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before_(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down_(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && before_(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && before_(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+EventQueue::Callback EventQueue::pop_front_() {
+  Callback cb = std::move(heap_.front().cb);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down_(0);
+  return cb;
 }
 
 void EventQueue::drain_until(Cycle now) {
-  while (!heap_.empty() && heap_.top().when <= now) {
-    // Copy out before pop: the callback may push new events and invalidate
-    // the reference returned by top().
-    Callback cb = heap_.top().cb;
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().when <= now) {
+    // Move out before pop: the callback may push new events and relocate
+    // the heap storage.
+    Callback cb = pop_front_();
     cb();
   }
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  heap_.clear();
   next_seq_ = 0;
 }
 

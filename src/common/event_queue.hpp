@@ -2,11 +2,16 @@
 // transfers, acknowledgment messages). Cycle-ticked components (cores,
 // memory controllers, transaction caches) run in the System main loop;
 // one-shot delayed actions go through this queue.
+//
+// The heap is hand-rolled rather than std::priority_queue for one hot-path
+// reason: popping must MOVE the callback out of the heap. priority_queue
+// only exposes a const top(), forcing a std::function copy per fired event
+// — and copying a std::function re-allocates any out-of-line capture.
+// Ordering is identical: (cycle, insertion sequence) ascending.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
@@ -19,7 +24,10 @@ class EventQueue {
 
   /// Schedule `cb` to fire at absolute cycle `when` (>= current drain point).
   /// Events scheduled for the same cycle fire in scheduling order.
-  void schedule_at(Cycle when, Callback cb);
+  void schedule_at(Cycle when, Callback cb) {
+    heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+    sift_up_(heap_.size() - 1);
+  }
 
   /// Fire every event with time <= now, in (time, insertion) order.
   /// Callbacks may schedule further events, including for `now` itself.
@@ -28,8 +36,14 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
   /// Cycle of the earliest pending event; only valid when !empty().
-  Cycle next_cycle() const { return heap_.top().when; }
+  Cycle next_cycle() const { return heap_.front().when; }
   void clear();
+
+  /// Count of schedule_at() calls since construction (or clear()) — a
+  /// hardware-independent cost metric: event churn per workload cell is
+  /// deterministic, so the regression suite pins it without flaky
+  /// wall-clock assertions.
+  std::uint64_t total_pushes() const { return next_seq_; }
 
  private:
   struct Event {
@@ -37,13 +51,16 @@ class EventQueue {
     std::uint64_t seq;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  bool before_(const Event& a, const Event& b) const {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  void sift_up_(std::size_t i);
+  void sift_down_(std::size_t i);
+  /// Remove the front event, returning its callback by move.
+  Callback pop_front_();
+
+  std::vector<Event> heap_;  ///< Binary min-heap over (when, seq).
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,64 @@
+// Pre-resolved statistics handles for hot paths.
+//
+// StatSet resolves dotted names through a std::map, which is fine at
+// registration and report time but far too slow per simulated access.
+// Components therefore resolve each stat ONCE in their constructor and
+// bump a raw pointer on the hot path. A StatHandle packages that idiom:
+// it is a typed non-owning pointer into the StatSet (whose stats are
+// node-stable), default-constructed null so members can be declared
+// before the constructor body runs.
+//
+//   CounterHandle hits_;                 // member
+//   hits_ = CounterHandle(stats, "l1.hits");   // constructor, one lookup
+//   hits_->inc();                        // hot path, no lookup
+//
+// StatSet::name_lookups() counts every by-name resolution, so the
+// regression suite can assert that lookup counts stay O(components),
+// not O(accesses).
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace ntcsim {
+
+template <typename Stat>
+class StatHandle {
+ public:
+  StatHandle() = default;
+  explicit StatHandle(Stat& stat) : stat_(&stat) {}
+
+  // Shallow const, like the raw pointer it replaces: a const component may
+  // still bump its (mutable-by-design) statistics, e.g. probe counters in
+  // const query methods.
+  Stat* operator->() const { return stat_; }
+  Stat& operator*() const { return *stat_; }
+  explicit operator bool() const { return stat_ != nullptr; }
+
+ private:
+  Stat* stat_ = nullptr;
+};
+
+class CounterHandle : public StatHandle<Counter> {
+ public:
+  CounterHandle() = default;
+  CounterHandle(StatSet& set, const std::string& name)
+      : StatHandle(set.counter(name)) {}
+};
+
+class AccumulatorHandle : public StatHandle<Accumulator> {
+ public:
+  AccumulatorHandle() = default;
+  AccumulatorHandle(StatSet& set, const std::string& name)
+      : StatHandle(set.accumulator(name)) {}
+};
+
+class HistogramHandle : public StatHandle<Histogram> {
+ public:
+  HistogramHandle() = default;
+  HistogramHandle(StatSet& set, const std::string& name)
+      : StatHandle(set.histogram(name)) {}
+};
+
+}  // namespace ntcsim

@@ -30,41 +30,52 @@ void Histogram::merge(const Histogram& other) {
 
 void Histogram::reset() { *this = Histogram{}; }
 
-Counter& StatSet::counter(const std::string& name) { return counters_[name]; }
+Counter& StatSet::counter(const std::string& name) {
+  ++name_lookups_;
+  return counters_[name];
+}
 
 Accumulator& StatSet::accumulator(const std::string& name) {
+  ++name_lookups_;
   return accumulators_[name];
 }
 
 Histogram& StatSet::histogram(const std::string& name) {
+  ++name_lookups_;
   return histograms_[name];
 }
 
 std::uint64_t StatSet::counter_value(const std::string& name) const {
+  ++name_lookups_;
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
 bool StatSet::has_counter(const std::string& name) const {
+  ++name_lookups_;
   return counters_.count(name) != 0;
 }
 
 double StatSet::accumulator_mean(const std::string& name) const {
+  ++name_lookups_;
   auto it = accumulators_.find(name);
   return it == accumulators_.end() ? 0.0 : it->second.mean();
 }
 
 double StatSet::accumulator_sum(const std::string& name) const {
+  ++name_lookups_;
   auto it = accumulators_.find(name);
   return it == accumulators_.end() ? 0.0 : it->second.sum();
 }
 
 std::uint64_t StatSet::accumulator_count(const std::string& name) const {
+  ++name_lookups_;
   auto it = accumulators_.find(name);
   return it == accumulators_.end() ? 0 : it->second.count();
 }
 
 std::uint64_t StatSet::counter_prefix_sum(const std::string& prefix) const {
+  ++name_lookups_;
   std::uint64_t sum = 0;
   for (auto it = counters_.lower_bound(prefix);
        it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;

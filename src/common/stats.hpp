@@ -89,10 +89,17 @@ class StatSet {
   void dump(std::ostream& os) const;
   std::vector<std::string> counter_names() const;
 
+  /// Total by-name resolutions (registration + report reads) since
+  /// construction. Hot paths resolve once via stat_handle.hpp, so this
+  /// must stay O(components + report reads), never O(accesses) — the
+  /// regression suite guards it.
+  std::uint64_t name_lookups() const { return name_lookups_; }
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Accumulator> accumulators_;
   std::map<std::string, Histogram> histograms_;
+  mutable std::uint64_t name_lookups_ = 0;
 };
 
 }  // namespace ntcsim

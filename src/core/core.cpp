@@ -23,21 +23,26 @@ Core::Core(CoreId id, const CoreConfig& cfg, Mechanism mechanism,
   if (mech_ == Mechanism::kKiln) {
     NTC_ASSERT(engine_ != nullptr, "Kiln mechanism requires a commit engine");
   }
-  stat_load_lat_ = &stats_->accumulator(prefix_ + ".load_latency");
-  stat_pload_lat_ = &stats_->accumulator(prefix_ + ".pload_latency");
-  stat_pload_hist_ = &stats_->histogram(prefix_ + ".pload_latency_hist");
-  stat_retired_ = &stats_->counter(prefix_ + ".retired");
-  stat_txs_ = &stats_->counter(prefix_ + ".txs");
-  stat_ntc_stall_ = &stats_->counter(prefix_ + ".ntc_stall_cycles");
+  stat_load_lat_ = AccumulatorHandle(*stats_, prefix_ + ".load_latency");
+  stat_pload_lat_ = AccumulatorHandle(*stats_, prefix_ + ".pload_latency");
+  stat_pload_hist_ = HistogramHandle(*stats_, prefix_ + ".pload_latency_hist");
+  stat_retired_ = CounterHandle(*stats_, prefix_ + ".retired");
+  stat_txs_ = CounterHandle(*stats_, prefix_ + ".txs");
+  stat_ntc_stall_ = CounterHandle(*stats_, prefix_ + ".ntc_stall_cycles");
+  static constexpr const char* kStallNames[] = {
+      "compute",     "load",       "sb_full", "txend_drain", "txend_flush",
+      "clwb_drain",  "clwb_issue", "sfence",  "pcommit"};
+  static_assert(std::size(kStallNames) ==
+                static_cast<std::size_t>(Stall::kCount));
+  for (std::size_t r = 0; r < static_cast<std::size_t>(Stall::kCount); ++r) {
+    stat_stalls_[r] =
+        CounterHandle(*stats_, prefix_ + ".stall." + kStallNames[r]);
+  }
 }
 
 void Core::bind_trace(const Trace* trace) {
   trace_ = trace;
   cursor_ = 0;
-}
-
-void Core::note_stall_(const char* reason) {
-  stats_->counter(prefix_ + ".stall." + reason).inc();
 }
 
 bool Core::forwarded_by_store_(const RobEntry* until, Addr addr) const {
@@ -185,21 +190,21 @@ bool Core::retire_one_(Cycle now) {
   switch (e.op.kind) {
     case OpKind::kCompute:
       if (now < e.ready_at) {
-        note_stall_("compute");
+        note_stall_(Stall::kCompute);
         return false;
       }
       break;
 
     case OpKind::kLoad:
       if (!e.ready) {
-        note_stall_("load");
+        note_stall_(Stall::kLoad);
         return false;
       }
       break;
 
     case OpKind::kStore: {
       if (sb_.size() >= cfg_.store_buffer_entries) {
-        note_stall_("sb_full");
+        note_stall_(Stall::kSbFull);
         return false;
       }
       SbEntry s;
@@ -257,21 +262,21 @@ bool Core::retire_one_(Cycle now) {
           break;  // commit is free / already enforced by the trace
         case Mechanism::kTc:
           if (sb_tx_pending_ > 0) {
-            note_stall_("txend_drain");
+            note_stall_(Stall::kTxendDrain);
             return false;  // all tx stores must be in the NTC first
           }
           ntc_->commit(mode_reg_);
           break;
         case Mechanism::kKiln:
           if (sb_tx_pending_ > 0) {
-            note_stall_("txend_drain");
+            note_stall_(Stall::kTxendDrain);
             return false;
           }
           // Commits are serialized per core: the flush of the previous
           // transaction must have completed before this one may start;
           // the flush itself runs in the background.
           if (!engine_->commit_done(id_)) {
-            note_stall_("txend_flush");
+            note_stall_(Stall::kTxendFlush);
             return false;
           }
           engine_->begin_commit(now, id_, mode_reg_);
@@ -285,7 +290,7 @@ bool Core::retire_one_(Cycle now) {
 
     case OpKind::kClwb: {
       if (sb_holds_line_(line_of(e.op.addr))) {
-        note_stall_("clwb_drain");
+        note_stall_(Stall::kClwbDrain);
         return false;  // the flushed store must reach the L1 first
       }
       const bool is_log = e.op.flush == FlushKind::kLog;
@@ -296,7 +301,7 @@ bool Core::retire_one_(Cycle now) {
       const bool ok =
           hier_->clwb(now, id_, e.op.addr, src, [counter] { --*counter; });
       if (!ok) {
-        note_stall_("clwb_issue");
+        note_stall_(Stall::kClwbIssue);
         return false;
       }
       ++*counter;
@@ -308,7 +313,7 @@ bool Core::retire_one_(Cycle now) {
       // write-combining flush must be on its way to the controller.
       flush_wc_buffer_(now);
       if (!sb_.empty() || !nt_pending_.empty()) {
-        note_stall_("sfence");
+        note_stall_(Stall::kSfence);
         return false;
       }
       break;
@@ -318,7 +323,7 @@ bool Core::retire_one_(Cycle now) {
       // commit for log truncation) drain in the background and do not gate
       // the next transaction.
       if (outstanding_log_flushes_ > 0) {
-        note_stall_("pcommit");
+        note_stall_(Stall::kPcommit);
         return false;
       }
       break;

@@ -19,6 +19,7 @@
 #include "cache/hierarchy.hpp"
 #include "mem/request.hpp"
 #include "common/config.hpp"
+#include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/commit_engine.hpp"
@@ -64,6 +65,22 @@ class Core {
     bool ntc_done = false;
   };
 
+  /// Retire-blocking reasons, one pre-resolved counter each. Registered
+  /// up front under "coreN.stall.<reason>" so a stall cycle bumps a raw
+  /// pointer instead of building a dotted name per blocked retire.
+  enum class Stall : std::uint8_t {
+    kCompute,
+    kLoad,
+    kSbFull,
+    kTxendDrain,
+    kTxendFlush,
+    kClwbDrain,
+    kClwbIssue,
+    kSfence,
+    kPcommit,
+    kCount,
+  };
+
   void fetch_(Cycle now);
   void issue_loads_(Cycle now);
   void drain_store_buffer_(Cycle now);
@@ -73,7 +90,9 @@ class Core {
   void on_load_done_(RobEntry* e);
   bool forwarded_by_store_(const RobEntry* until, Addr addr) const;
   bool sb_holds_line_(Addr line) const;
-  void note_stall_(const char* reason);
+  void note_stall_(Stall reason) {
+    stat_stalls_[static_cast<std::size_t>(reason)]->inc();
+  }
 
   CoreId id_;
   CoreConfig cfg_;
@@ -108,12 +127,13 @@ class Core {
   std::uint64_t committed_txs_ = 0;
   Cycle now_cache_ = 0;  ///< Last ticked cycle; read by load callbacks.
 
-  Accumulator* stat_load_lat_;
-  Accumulator* stat_pload_lat_;
-  Histogram* stat_pload_hist_;
-  Counter* stat_retired_;
-  Counter* stat_txs_;
-  Counter* stat_ntc_stall_;
+  AccumulatorHandle stat_load_lat_;
+  AccumulatorHandle stat_pload_lat_;
+  HistogramHandle stat_pload_hist_;
+  CounterHandle stat_retired_;
+  CounterHandle stat_txs_;
+  CounterHandle stat_ntc_stall_;
+  CounterHandle stat_stalls_[static_cast<std::size_t>(Stall::kCount)];
 };
 
 }  // namespace ntcsim::core

@@ -1,5 +1,6 @@
 #include "mem/memory_controller.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -17,24 +18,28 @@ MemoryController::MemoryController(std::string name, const MemCtrlConfig& cfg,
   banks_.assign(map_.total_banks(), Bank{cfg_.timing});
   acts_.assign(cfg_.ranks, {});
   last_write_end_.assign(cfg_.ranks, 0);
-  stat_reads_ = &stats_->counter(name_ + ".reads");
-  stat_writes_ = &stats_->counter(name_ + ".writes");
+  seen_lines_.reserve(std::max(cfg_.read_queue, cfg_.write_queue));
+  // Every array write bumps a per-line wear count; pre-sizing the table
+  // keeps the hot path off the rehash cliff for typical footprints.
+  wear_.reserve(1u << 15);
+  stat_reads_ = CounterHandle(*stats_, name_ + ".reads");
+  stat_writes_ = CounterHandle(*stats_, name_ + ".writes");
   for (unsigned s = 0; s < kSourceCount; ++s) {
-    stat_writes_by_source_[s] = &stats_->counter(
-        name_ + ".writes." + to_string(static_cast<Source>(s)));
+    stat_writes_by_source_[s] = CounterHandle(
+        *stats_, name_ + ".writes." + to_string(static_cast<Source>(s)));
   }
-  stat_row_hits_ = &stats_->counter(name_ + ".row_hits");
-  stat_row_misses_ = &stats_->counter(name_ + ".row_misses");
-  stat_drain_entries_ = &stats_->counter(name_ + ".drain_mode_entries");
-  stat_refreshes_ = &stats_->counter(name_ + ".refreshes");
+  stat_row_hits_ = CounterHandle(*stats_, name_ + ".row_hits");
+  stat_row_misses_ = CounterHandle(*stats_, name_ + ".row_misses");
+  stat_drain_entries_ = CounterHandle(*stats_, name_ + ".drain_mode_entries");
+  stat_refreshes_ = CounterHandle(*stats_, name_ + ".refreshes");
   if (cfg_.refresh_interval > 0) {
     // Stagger ranks across the interval, as real controllers do.
     for (unsigned r = 0; r < cfg_.ranks; ++r) {
       next_refresh_.push_back(cfg_.refresh_interval * (r + 1) / cfg_.ranks);
     }
   }
-  stat_wq_forwards_ = &stats_->counter(name_ + ".wq_forwards");
-  stat_read_latency_ = &stats_->accumulator(name_ + ".read_latency");
+  stat_wq_forwards_ = CounterHandle(*stats_, name_ + ".wq_forwards");
+  stat_read_latency_ = AccumulatorHandle(*stats_, name_ + ".read_latency");
 }
 
 bool MemoryController::enqueue(MemRequest req, Cycle now) {
@@ -55,11 +60,17 @@ bool MemoryController::enqueue(MemRequest req, Cycle now) {
         return true;
       }
     }
-    read_q_.push_back(Pending{std::move(req), now});
+    Pending p{std::move(req), now};
+    p.coord = map_.decode(p.req.line_addr);
+    p.flat_bank = map_.flat_bank(p.coord);
+    read_q_.push_back(std::move(p));
     return true;
   }
   if (write_queue_full()) return false;
-  write_q_.push_back(Pending{std::move(req), now});
+  Pending p{std::move(req), now};
+  p.coord = map_.decode(p.req.line_addr);
+  p.flat_bank = map_.flat_bank(p.coord);
+  write_q_.push_back(std::move(p));
   return true;
 }
 
@@ -87,10 +98,13 @@ int MemoryController::pick(const std::deque<Pending>& q, Cycle now) const {
   int oldest_ready = -1;
   for (std::size_t i = 0; i < q.size(); ++i) {
     const Addr line = q[i].req.line_addr;
-    const bool conflicted = !seen_lines_.insert(line).second;
+    const bool conflicted =
+        std::find(seen_lines_.begin(), seen_lines_.end(), line) !=
+        seen_lines_.end();
     if (conflicted) continue;
-    const BankCoord c = map_.decode(line);
-    const Bank& bank = banks_[map_.flat_bank(c)];
+    seen_lines_.push_back(line);
+    const BankCoord& c = q[i].coord;
+    const Bank& bank = banks_[q[i].flat_bank];
     if (!bank.ready_at(now)) continue;
     const bool hit = bank.row_hit(c.row);
     if (rank_constrained_(c.rank, q[i].req.op == MemOp::kRead, !hit, now)) {
@@ -156,8 +170,8 @@ void MemoryController::tick(Cycle now) {
 }
 
 void MemoryController::issue(Pending p, Cycle now) {
-  const BankCoord c = map_.decode(p.req.line_addr);
-  Bank& bank = banks_[map_.flat_bank(c)];
+  const BankCoord& c = p.coord;
+  Bank& bank = banks_[p.flat_bank];
   const bool is_write = p.req.op == MemOp::kWrite;
 
   if (bank.row_hit(c.row)) {

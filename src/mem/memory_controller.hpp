@@ -14,10 +14,11 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "mem/address_map.hpp"
 #include "mem/bank.hpp"
@@ -66,6 +67,11 @@ class MemoryController {
   struct Pending {
     MemRequest req;
     Cycle arrival = 0;
+    /// Decoded once at enqueue (line_addr is immutable afterwards); pick()
+    /// re-examines every queued entry each channel cycle and must not pay
+    /// the full address decode per scan element.
+    BankCoord coord;
+    unsigned flat_bank = 0;
   };
 
   /// Index into the given queue of the next schedulable request under
@@ -83,7 +89,9 @@ class MemoryController {
   std::vector<Bank> banks_;
   std::deque<Pending> read_q_;
   std::deque<Pending> write_q_;
-  mutable std::unordered_set<Addr> seen_lines_;  ///< pick() scratch.
+  /// pick() scratch: the queues hold at most 64 entries, so a linear probe
+  /// of a flat vector beats hashing every line address.
+  mutable std::vector<Addr> seen_lines_;
   std::unordered_map<Addr, std::uint32_t> wear_;  ///< line -> array writes.
   Cycle bus_busy_until_ = 0;
   std::vector<Cycle> next_refresh_;  ///< Per rank; empty when disabled.
@@ -93,15 +101,15 @@ class MemoryController {
   bool draining_ = false;
   unsigned in_flight_ = 0;
 
-  Counter* stat_reads_;
-  Counter* stat_writes_;
-  Counter* stat_writes_by_source_[kSourceCount];
-  Counter* stat_row_hits_;
-  Counter* stat_row_misses_;
-  Counter* stat_drain_entries_;
-  Counter* stat_refreshes_;
-  Counter* stat_wq_forwards_;
-  Accumulator* stat_read_latency_;
+  CounterHandle stat_reads_;
+  CounterHandle stat_writes_;
+  CounterHandle stat_writes_by_source_[kSourceCount];
+  CounterHandle stat_row_hits_;
+  CounterHandle stat_row_misses_;
+  CounterHandle stat_drain_entries_;
+  CounterHandle stat_refreshes_;
+  CounterHandle stat_wq_forwards_;
+  AccumulatorHandle stat_read_latency_;
 };
 
 }  // namespace ntcsim::mem

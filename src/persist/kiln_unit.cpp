@@ -9,10 +9,10 @@ KilnUnit::KilnUnit(unsigned cores, const KilnConfig& cfg,
                    recovery::DurableState* durable, StatSet& stats)
     : cfg_(cfg), hier_(&hier), events_(&events), durable_(durable) {
   state_.resize(cores);
-  stat_commits_ = &stats.counter("kiln.commits");
-  stat_flushed_lines_ = &stats.counter("kiln.flushed_lines");
-  stat_cleans_ = &stats.counter("kiln.cleans");
-  stat_commit_cycles_ = &stats.accumulator("kiln.commit_cycles");
+  stat_commits_ = CounterHandle(stats, "kiln.commits");
+  stat_flushed_lines_ = CounterHandle(stats, "kiln.flushed_lines");
+  stat_cleans_ = CounterHandle(stats, "kiln.cleans");
+  stat_commit_cycles_ = AccumulatorHandle(stats, "kiln.commit_cycles");
 }
 
 void KilnUnit::begin_tx(CoreId core, TxId tx) {

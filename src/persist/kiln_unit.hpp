@@ -14,6 +14,7 @@
 #include "cache/hierarchy.hpp"
 #include "common/event_queue.hpp"
 #include "mem/memory_system.hpp"
+#include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/commit_engine.hpp"
@@ -74,10 +75,10 @@ class KilnUnit final : public core::CommitEngine {
   std::unordered_set<Addr> clean_pending_;
   Cycle now_ = 0;
 
-  Counter* stat_commits_;
-  Counter* stat_flushed_lines_;
-  Counter* stat_cleans_;
-  Accumulator* stat_commit_cycles_;
+  CounterHandle stat_commits_;
+  CounterHandle stat_flushed_lines_;
+  CounterHandle stat_cleans_;
+  AccumulatorHandle stat_commit_cycles_;
 };
 
 }  // namespace ntcsim::persist

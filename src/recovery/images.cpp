@@ -6,8 +6,13 @@ namespace ntcsim::recovery {
 
 void WordImage::store(Addr word_addr, Word value) {
   NTC_ASSERT(word_addr == word_of(word_addr), "store address must be word-aligned");
-  LineWords& lw = lines_[line_of(word_addr)];
-  const unsigned i = static_cast<unsigned>((word_addr - line_of(word_addr)) / kWordBytes);
+  const Addr line = line_of(word_addr);
+  if (line != cached_line_ || cached_ == nullptr) {
+    cached_ = &lines_[line];
+    cached_line_ = line;
+  }
+  LineWords& lw = *cached_;
+  const unsigned i = static_cast<unsigned>((word_addr - line) / kWordBytes);
   lw.mask |= static_cast<std::uint8_t>(1u << i);
   lw.w[i] = value;
 }

@@ -29,6 +29,26 @@ struct LineWords {
 
 class WordImage {
  public:
+  WordImage() = default;
+  // The MRU pointer below aims into this instance's own map; a copied or
+  // moved-from image must not inherit (or keep) a pointer into the wrong
+  // map, so copies/moves transfer only the contents and drop the cache.
+  WordImage(const WordImage& other) : lines_(other.lines_) {}
+  WordImage(WordImage&& other) noexcept : lines_(std::move(other.lines_)) {
+    other.invalidate_cache_();
+  }
+  WordImage& operator=(const WordImage& other) {
+    lines_ = other.lines_;
+    invalidate_cache_();
+    return *this;
+  }
+  WordImage& operator=(WordImage&& other) noexcept {
+    lines_ = std::move(other.lines_);
+    invalidate_cache_();
+    other.invalidate_cache_();
+    return *this;
+  }
+
   void store(Addr word_addr, Word value);
   /// Value of the word, or 0 (NVM cells are modeled as zero-initialized).
   Word load(Addr word_addr) const;
@@ -38,7 +58,10 @@ class WordImage {
   std::vector<std::pair<Addr, Word>> words_in_line(Addr line_addr) const;
 
   std::size_t line_count() const { return lines_.size(); }
-  void clear() { lines_.clear(); }
+  void clear() {
+    lines_.clear();
+    invalidate_cache_();
+  }
 
   template <typename Fn>
   void for_each(Fn&& fn) const {
@@ -50,7 +73,17 @@ class WordImage {
   }
 
  private:
+  void invalidate_cache_() {
+    cached_ = nullptr;
+    cached_line_ = ~Addr{0};
+  }
+
   std::unordered_map<Addr, LineWords> lines_;
+  /// One-line MRU store cache: drains hit the same 64 B line word after
+  /// word, and unordered_map values are pointer-stable across inserts, so
+  /// the repeat hash lookups collapse into a single pointer compare.
+  Addr cached_line_ = ~Addr{0};
+  LineWords* cached_ = nullptr;
 };
 
 using VolatileImage = WordImage;

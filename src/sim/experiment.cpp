@@ -3,9 +3,12 @@
 #include <cmath>
 #include <cstdlib>
 
+#include <chrono>
+
 #include "common/assert.hpp"
 #include "common/table.hpp"
 #include "recovery/journal.hpp"
+#include "sim/profiler.hpp"
 #include "sim/sweep.hpp"
 
 namespace ntcsim::sim {
@@ -28,23 +31,39 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
       static_cast<double>(params.setup_elems) * opts.setup_scale);
   if (params.setup_elems == 0) params.setup_elems = 1;
 
+  const auto cell_start = std::chrono::steady_clock::now();
   workload::SimHeap heap(cfg.address_space, cfg.cores);
   std::vector<workload::TraceBundle> bundles;
-  for (CoreId c = 0; c < cfg.cores; ++c) {
-    bundles.push_back(workload::generate_phased(params, c, heap, nullptr));
+  {
+    NTC_PROF_SCOPE("cell.generate");
+    for (CoreId c = 0; c < cfg.cores; ++c) {
+      bundles.push_back(workload::generate_phased(params, c, heap, nullptr));
+    }
   }
   System sys(cfg);
-  // Phase 1: build the structures (warm caches/NTC/NVM), unmeasured.
-  for (CoreId c = 0; c < cfg.cores; ++c) {
-    sys.load_trace(c, std::move(bundles[c].setup));
+  {
+    // Phase 1: build the structures (warm caches/NTC/NVM), unmeasured.
+    NTC_PROF_SCOPE("cell.setup");
+    for (CoreId c = 0; c < cfg.cores; ++c) {
+      sys.load_trace(c, std::move(bundles[c].setup));
+    }
+    sys.run();
   }
-  sys.run();
   sys.reset_stats();
-  // Phase 2: the steady state the paper's figures report.
-  for (CoreId c = 0; c < cfg.cores; ++c) {
-    sys.load_trace(c, std::move(bundles[c].measured));
+  {
+    // Phase 2: the steady state the paper's figures report.
+    NTC_PROF_SCOPE("cell.measured");
+    for (CoreId c = 0; c < cfg.cores; ++c) {
+      sys.load_trace(c, std::move(bundles[c].measured));
+    }
+    sys.run();
   }
-  sys.run();
+  if (Profiler::enabled()) {
+    const auto cell_end = std::chrono::steady_clock::now();
+    Profiler::add_cell(
+        std::string(to_string(mech)) + "/" + std::string(to_string(wl)),
+        std::chrono::duration<double>(cell_end - cell_start).count());
+  }
   return sys.metrics();
 }
 
@@ -112,12 +131,24 @@ ExperimentOptions parse_bench_args(int argc, char** argv) {
   ExperimentOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--jobs=", 0) == 0) {
-      const long n = std::atol(a.c_str() + 7);
+    // Flags take `--flag=value` or `--flag value`.
+    auto flag_value = [&](const char* flag) -> const char* {
+      const std::string eq = std::string(flag) + "=";
+      if (a.rfind(eq, 0) == 0) return argv[i] + eq.size();
+      if (a == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = flag_value("--jobs")) {
+      const long n = std::atol(v);
       if (n > 0) opts.jobs = static_cast<unsigned>(n);
-    } else if (a.rfind("--scale=", 0) == 0) {
-      const double s = std::atof(a.c_str() + 8);
+    } else if (const char* v = flag_value("--scale")) {
+      const double s = std::atof(v);
       if (s > 0.0) opts.scale = s;
+    } else if (a == "--profile") {
+      opts.profile = true;
+    } else if (a.rfind("--profile=", 0) == 0) {
+      opts.profile = true;
+      opts.profile_out = a.substr(10);
     } else if (a.rfind("--", 0) != 0) {
       const double s = std::atof(a.c_str());
       if (s > 0.0) opts.scale = s;

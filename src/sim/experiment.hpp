@@ -37,6 +37,11 @@ struct ExperimentOptions {
   /// Worker threads for run_matrix / run_sweep. 0 = auto (NTCSIM_JOBS or
   /// hardware_concurrency, see sweep.hpp); 1 = the serial path.
   unsigned jobs = 0;
+  /// Self-profiling (`--profile[=FILE]`): time the simulator's own phases
+  /// and emit a machine-readable report when the sweep finishes. Purely
+  /// observational — simulated metrics are unaffected.
+  bool profile = false;
+  std::string profile_out = "BENCH_selfperf.json";
 };
 
 /// One cell of the evaluation matrix.
@@ -56,9 +61,11 @@ void print_figure(std::ostream& os, const std::string& title,
                   const Matrix& matrix, double (*metric)(const Metrics&),
                   const std::string& caption);
 
-/// Parse bench argv: optional positional scale factor, `--scale=X`, and
-/// `--jobs=N` (worker threads; NTCSIM_JOBS is the env equivalent, the flag
-/// wins). NTCSIM_SCALE overrides any argv scale.
+/// Parse bench argv: optional positional scale factor, `--scale=X` (or
+/// `--scale X`), `--jobs=N`/`--jobs N` (worker threads; NTCSIM_JOBS is the
+/// env equivalent, the flag wins), and `--profile[=FILE]` (self-perf
+/// report, default BENCH_selfperf.json). NTCSIM_SCALE overrides any argv
+/// scale.
 ExperimentOptions parse_bench_args(int argc, char** argv);
 
 double geometric_mean(const std::vector<double>& v);

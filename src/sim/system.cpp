@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "persist/sp_transform.hpp"
+#include "sim/profiler.hpp"
 
 namespace ntcsim::sim {
 
@@ -76,12 +77,37 @@ void System::load_trace(CoreId core, core::Trace trace) {
 }
 
 void System::step_() {
-  events_.drain_until(now_);
-  for (auto& c : cores_) c->tick(now_);
-  for (auto& n : ntcs_) n->tick(now_);
-  if (kiln_ != nullptr) kiln_->tick(now_, *mem_);
-  hier_->tick(now_);
-  mem_->tick(now_);
+  // The per-component ProfScopes cost one relaxed load each when profiling
+  // is off; under --profile they produce the step.* phase breakdown.
+  {
+    NTC_PROF_SCOPE("step.events");
+    events_.drain_until(now_);
+  }
+  {
+    // A finished core's tick is a no-op (nothing to fetch, every buffer
+    // empty); skipping it keeps uneven multi-core runs from paying for
+    // cores that retired early.
+    NTC_PROF_SCOPE("step.cores");
+    for (auto& c : cores_) {
+      if (!c->finished()) c->tick(now_);
+    }
+  }
+  {
+    NTC_PROF_SCOPE("step.ntc");
+    for (auto& n : ntcs_) n->tick(now_);
+  }
+  if (kiln_ != nullptr) {
+    NTC_PROF_SCOPE("step.kiln");
+    kiln_->tick(now_, *mem_);
+  }
+  {
+    NTC_PROF_SCOPE("step.hierarchy");
+    hier_->tick(now_);
+  }
+  {
+    NTC_PROF_SCOPE("step.memory");
+    mem_->tick(now_);
+  }
   ++now_;
 }
 

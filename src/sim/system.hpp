@@ -66,6 +66,8 @@ class System {
   cache::Hierarchy& hierarchy() { return *hier_; }
   mem::MemorySystem& memory() { return *mem_; }
   const recovery::DurableState* durable() const { return durable_.get(); }
+  /// Event-queue introspection (cost-regression guards count pushes).
+  const EventQueue& events() const { return events_; }
 
  private:
   void step_();

@@ -14,16 +14,16 @@ TxCache::TxCache(std::string name, CoreId core, const TxCacheConfig& cfg,
     : name_(std::move(name)), core_(core), cfg_(cfg), space_(space), mem_(&mem) {
   NTC_ASSERT(cfg_.entries() >= 2, "transaction cache needs >= 2 entries");
   entries_.resize(cfg_.entries());
-  stat_writes_ = &stats.counter(name_ + ".writes");
-  stat_commits_ = &stats.counter(name_ + ".commits");
-  stat_issued_ = &stats.counter(name_ + ".issued");
-  stat_acks_ = &stats.counter(name_ + ".acks");
-  stat_probe_hits_ = &stats.counter(name_ + ".probe_hits");
-  stat_probe_misses_ = &stats.counter(name_ + ".probe_misses");
-  stat_spills_ = &stats.counter(name_ + ".spills");
-  stat_merges_ = &stats.counter(name_ + ".merges");
-  stat_full_rejects_ = &stats.counter(name_ + ".full_rejects");
-  stat_port_busy_ = &stats.counter(name_ + ".port_busy");
+  stat_writes_ = CounterHandle(stats, name_ + ".writes");
+  stat_commits_ = CounterHandle(stats, name_ + ".commits");
+  stat_issued_ = CounterHandle(stats, name_ + ".issued");
+  stat_acks_ = CounterHandle(stats, name_ + ".acks");
+  stat_probe_hits_ = CounterHandle(stats, name_ + ".probe_hits");
+  stat_probe_misses_ = CounterHandle(stats, name_ + ".probe_misses");
+  stat_spills_ = CounterHandle(stats, name_ + ".spills");
+  stat_merges_ = CounterHandle(stats, name_ + ".merges");
+  stat_full_rejects_ = CounterHandle(stats, name_ + ".full_rejects");
+  stat_port_busy_ = CounterHandle(stats, name_ + ".port_busy");
 }
 
 bool TxCache::overflow_imminent() const {
@@ -75,6 +75,7 @@ bool TxCache::write(Cycle now, Addr addr, Word value, TxId tx) {
   e.issued = false;
   e.seq = next_seq_++;
   active_lines_[e.line] = head_;
+  active_fifo_.push_back(head_);
   port_free_at_ = now + cfg_.latency_cycles - 1;
   head_ = next_(head_);
   ++count_;
@@ -85,17 +86,28 @@ bool TxCache::write(Cycle now, Addr addr, Word value, TxId tx) {
 void TxCache::commit(TxId tx) {
   stat_commits_->inc();
   active_lines_.clear();  // the open transaction's entries become immutable
-  // CAM match on TxID across the whole data array (§4.1).
-  for (Entry& e : entries_) {
-    if (e.state == State::kActive && e.tx == tx) {
+  // CAM match on TxID across the data array (§4.1); only ACTIVE entries can
+  // match, and active_fifo_ lists exactly those, oldest first. Matching
+  // entries append to committed_fifo_ in that same seq order — and every
+  // entry of an earlier transaction carries a lower seq than anything
+  // written later, so committed_fifo_ stays seq-sorted across commits.
+  std::deque<std::size_t> still_active;
+  for (std::size_t idx : active_fifo_) {
+    Entry& e = entries_[idx];
+    if (e.tx == tx) {
       e.state = State::kCommitted;
-      ++committed_unissued_;
+      committed_fifo_.push_back(idx);
+      ++committed_in_ring_;
+    } else {
+      still_active.push_back(idx);
     }
   }
+  active_fifo_.swap(still_active);
   for (auto& s : spills_) {
     if (s->tx == tx && !s->committed) {
       s->committed = true;
       ++committed_spills_;
+      ++committed_undone_spills_;
     }
   }
 }
@@ -137,6 +149,8 @@ void TxCache::on_ack(Addr line_addr) {
         e.state = State::kAvailable;
         e.tx = kNoTx;
         e.words.clear();
+        NTC_ASSERT(committed_in_ring_ > 0, "ack frees a committed entry");
+        --committed_in_ring_;
         advance_tail_();
         return;
       }
@@ -175,71 +189,67 @@ bool TxCache::issue_entry_(Cycle now, std::size_t idx) {
 void TxCache::run_overflow_fallback_(Cycle now) {
   // §4.1: once almost full, spill the oldest ACTIVE entries to the NVM
   // shadow region with hardware copy-on-write; the home-address writes are
-  // issued when the owning transaction commits.
-  std::size_t i = tail_;
-  for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
-    Entry& e = entries_[i];
-    if (e.state != State::kActive) continue;
-    // Check the queue of the exact shadow line's channel: with a
-    // multi-channel NVM, different lines can route to different queues.
-    const Addr shadow_line =
-        line_of(space_.shadow_base(core_) + shadow_cursor_);
-    if (mem_->write_queue_full(shadow_line)) return;
+  // issued when the owning transaction commits. The oldest ACTIVE entry is
+  // the front of active_fifo_ (ring order from the tail == seq order).
+  if (active_fifo_.empty()) return;
+  // Check the queue of the exact shadow line's channel: with a
+  // multi-channel NVM, different lines can route to different queues.
+  const Addr shadow_line = line_of(space_.shadow_base(core_) + shadow_cursor_);
+  if (mem_->write_queue_full(shadow_line)) return;
 
-    auto rec = std::make_shared<Spill>();
-    rec->tx = e.tx;
-    rec->words = e.words;
-    rec->seq = e.seq;
-    spills_.push_back(rec);
-    stat_spills_->inc();
+  Entry& e = entries_[active_fifo_.front()];
+  auto rec = std::make_shared<Spill>();
+  rec->tx = e.tx;
+  rec->words = e.words;
+  rec->seq = e.seq;
+  spills_.push_back(rec);
+  stat_spills_->inc();
 
-    mem::MemRequest req;
-    req.op = mem::MemOp::kWrite;
-    req.line_addr = shadow_line;
-    shadow_cursor_ += kLineBytes;
-    req.persistent = true;
-    req.core = core_;
-    req.tx = e.tx;
-    req.source = mem::Source::kShadow;
-    // Shadow payload lands at shadow addresses: it must not overwrite home
-    // locations in the durable image (the transaction is uncommitted).
-    req.payload.assign(1, {word_of(req.line_addr), e.words.front().second});
-    req.on_complete = [rec](const mem::MemRequest&) { rec->shadow_done = true; };
-    const bool ok = mem_->enqueue(std::move(req), now);
-    NTC_ASSERT(ok, "NVM write queue checked before shadow spill");
+  mem::MemRequest req;
+  req.op = mem::MemOp::kWrite;
+  req.line_addr = shadow_line;
+  shadow_cursor_ += kLineBytes;
+  req.persistent = true;
+  req.core = core_;
+  req.tx = e.tx;
+  req.source = mem::Source::kShadow;
+  // Shadow payload lands at shadow addresses: it must not overwrite home
+  // locations in the durable image (the transaction is uncommitted).
+  req.payload.assign(1, {word_of(req.line_addr), e.words.front().second});
+  req.on_complete = [rec](const mem::MemRequest&) { rec->shadow_done = true; };
+  const bool ok = mem_->enqueue(std::move(req), now);
+  NTC_ASSERT(ok, "NVM write queue checked before shadow spill");
 
-    active_lines_.erase(e.line);
-    e.state = State::kAvailable;
-    e.tx = kNoTx;
-    e.words.clear();
-    advance_tail_();
-    return;  // one spill per cycle
-  }
+  active_fifo_.pop_front();
+  active_lines_.erase(e.line);
+  e.state = State::kAvailable;
+  e.tx = kNoTx;
+  e.words.clear();
+  advance_tail_();
+  // one spill per cycle
 }
 
-bool TxCache::issue_spill_home_(Cycle now, Spill& spill) {
-  const Addr line = line_of(spill.words.front().first);
+bool TxCache::issue_spill_home_(Cycle now, const std::shared_ptr<Spill>& spill) {
+  const Addr line = line_of(spill->words.front().first);
   if (mem_->write_queue_full(line)) return false;
   mem::MemRequest req;
   req.op = mem::MemOp::kWrite;
   req.line_addr = line;
   req.persistent = true;
   req.core = core_;
-  req.tx = spill.tx;
+  req.tx = spill->tx;
   req.source = mem::Source::kTxCache;
-  req.payload = spill.words;
+  req.payload = spill->words;
   // Shared ownership keeps the record alive past reaping.
-  std::shared_ptr<Spill> keep;
-  for (auto& s : spills_) {
-    if (s.get() == &spill) keep = s;
-  }
-  req.on_complete = [this, keep](const mem::MemRequest&) {
-    keep->home_done = true;
+  req.on_complete = [this, spill](const mem::MemRequest&) {
+    spill->home_done = true;
+    NTC_ASSERT(committed_undone_spills_ > 0, "home ack matches a committed spill");
+    --committed_undone_spills_;
     stat_acks_->inc();
   };
   const bool ok = mem_->enqueue(std::move(req), now);
   NTC_ASSERT(ok, "NVM write queue checked before spill home write");
-  spill.home_issued = true;
+  spill->home_issued = true;
   return true;
 }
 
@@ -248,46 +258,44 @@ void TxCache::tick(Cycle now) {
   // order, merging the ring with the overflow spill table. Committed items
   // always carry lower sequence numbers than ACTIVE ones (transactions are
   // sequential per core), so lowest-seq-first IS the paper's FIFO order.
+  // Both candidate sets are seq-sorted deques, so each pick is O(1): the
+  // oldest committed-unissued ring entry is committed_fifo_.front() and the
+  // oldest unissued spill is spills_[spill_home_issued_live_] (home writes
+  // issue in seq order, so the issued ones form a prefix of the deque).
   unsigned issued = 0;
   while (issued < cfg_.drain_per_cycle &&
-         (committed_unissued_ > 0 || committed_spills_ > 0)) {
+         (!committed_fifo_.empty() || committed_spills_ > 0)) {
     // FIFO boundary: nothing may be issued past the oldest ACTIVE entry
     // (§4.1 — committed lines are written back in FIFO = program order).
-    std::uint64_t min_active_seq = ~0ULL;
+    const std::uint64_t min_active_seq =
+        active_fifo_.empty() ? ~0ULL : entries_[active_fifo_.front()].seq;
     std::uint64_t best_seq = ~0ULL;
-    std::size_t best_idx = 0;
     bool best_is_entry = false;
-    Spill* best_spill = nullptr;
-    std::size_t i = tail_;
-    for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
-      const Entry& e = entries_[i];
-      if (e.state == State::kActive) {
-        min_active_seq = std::min(min_active_seq, e.seq);
-      }
-      if (e.state == State::kCommitted && !e.issued && e.seq < best_seq) {
-        best_seq = e.seq;
-        best_idx = i;
-        best_is_entry = true;
-      }
+    if (!committed_fifo_.empty()) {
+      best_seq = entries_[committed_fifo_.front()].seq;
+      best_is_entry = true;
     }
-    for (auto& s : spills_) {
+    std::shared_ptr<Spill> best_spill;
+    if (spill_home_issued_live_ < spills_.size()) {
+      const std::shared_ptr<Spill>& s = spills_[spill_home_issued_live_];
       if (s->committed && !s->home_issued && s->seq < best_seq) {
         best_seq = s->seq;
         best_is_entry = false;
-        best_spill = s.get();
+        best_spill = s;
       }
     }
     if (best_seq == ~0ULL) break;          // nothing committed to drain
     if (best_seq > min_active_seq) break;  // would pass an active entry
     if (best_is_entry) {
-      if (!issue_entry_(now, best_idx)) break;
-      --committed_unissued_;
+      if (!issue_entry_(now, committed_fifo_.front())) break;
+      committed_fifo_.pop_front();
     } else {
       // The copy-on-write shadow write must be durable before the home
       // write may pass it in the pipeline.
       if (!best_spill->shadow_done) break;
-      if (!issue_spill_home_(now, *best_spill)) break;
+      if (!issue_spill_home_(now, best_spill)) break;
       --committed_spills_;
+      ++spill_home_issued_live_;
     }
     ++issued;
   }
@@ -297,19 +305,18 @@ void TxCache::tick(Cycle now) {
   // Reap completed spill records (shadow written, home durable, committed).
   while (!spills_.empty() && spills_.front()->committed &&
          spills_.front()->home_done && spills_.front()->shadow_done) {
+    NTC_ASSERT(spill_home_issued_live_ > 0,
+               "reaped spill issued its home write");
+    --spill_home_issued_live_;
     spills_.pop_front();
   }
 }
 
 bool TxCache::drained() const {
-  std::size_t i = tail_;
-  for (std::size_t n = 0; n < count_; ++n, i = next_(i)) {
-    if (entries_[i].state == State::kCommitted) return false;
-  }
-  for (const auto& s : spills_) {
-    if (s->committed && !s->home_done) return false;
-  }
-  return true;
+  // Counters track exactly what the old full scans looked for: any ring
+  // entry still in COMMITTED state, or any committed spill whose home
+  // write is not yet durable.
+  return committed_in_ring_ == 0 && committed_undone_spills_ == 0;
 }
 
 recovery::NtcSnapshot TxCache::snapshot() const {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/memory_system.hpp"
@@ -100,7 +101,7 @@ class TxCache {
   std::size_t next_(std::size_t i) const { return (i + 1) % entries_.size(); }
   void advance_tail_();
   bool issue_entry_(Cycle now, std::size_t idx);
-  bool issue_spill_home_(Cycle now, Spill& spill);
+  bool issue_spill_home_(Cycle now, const std::shared_ptr<Spill>& spill);
   void run_overflow_fallback_(Cycle now);
 
   std::string name_;
@@ -117,22 +118,38 @@ class TxCache {
   std::deque<std::shared_ptr<Spill>> spills_;
   std::uint64_t shadow_cursor_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::size_t committed_unissued_ = 0;   ///< Drain-scan fast path.
   std::size_t committed_spills_ = 0;     ///< Spills awaiting home writes.
   Cycle port_free_at_ = 0;               ///< CPU-side CAM port occupancy.
   /// Open-transaction same-line coalescing index: line -> ring slot.
   std::unordered_map<Addr, std::size_t> active_lines_;
 
-  Counter* stat_writes_;
-  Counter* stat_commits_;
-  Counter* stat_issued_;
-  Counter* stat_acks_;
-  Counter* stat_probe_hits_;
-  Counter* stat_probe_misses_;
-  Counter* stat_spills_;
-  Counter* stat_merges_;
-  Counter* stat_full_rejects_;
-  Counter* stat_port_busy_;
+  // O(1) drain/spill bookkeeping. The ring region [tail, head) is in
+  // ascending seq order (insertion at head), so these deques — fed in ring
+  // order — stay seq-sorted without searching:
+  //  * active_fifo_ holds the ring slots of ACTIVE entries, oldest first
+  //    (front = the FIFO boundary seq and the next spill victim).
+  //  * committed_fifo_ holds COMMITTED-but-unissued slots, oldest first
+  //    (front = next drain candidate). Slots here are never recycled:
+  //    only issued entries are freed by acks.
+  //  * spill_home_issued_live_ counts the home_issued prefix of spills_
+  //    (home writes issue strictly in seq order), so the next home-write
+  //    candidate is spills_[spill_home_issued_live_].
+  std::deque<std::size_t> active_fifo_;
+  std::deque<std::size_t> committed_fifo_;
+  std::size_t spill_home_issued_live_ = 0;
+  std::size_t committed_in_ring_ = 0;       ///< Entries in COMMITTED state.
+  std::size_t committed_undone_spills_ = 0; ///< Committed, home not durable.
+
+  CounterHandle stat_writes_;
+  CounterHandle stat_commits_;
+  CounterHandle stat_issued_;
+  CounterHandle stat_acks_;
+  CounterHandle stat_probe_hits_;
+  CounterHandle stat_probe_misses_;
+  CounterHandle stat_spills_;
+  CounterHandle stat_merges_;
+  CounterHandle stat_full_rejects_;
+  CounterHandle stat_port_busy_;
 };
 
 }  // namespace ntcsim::txcache

@@ -1,0 +1,151 @@
+// Self-profiler unit tests: scope accumulation/nesting, the hard
+// requirement that --profile has zero observable effect on simulated
+// metrics, and the JSON report round-trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "sim/experiment.hpp"
+#include "sim/profiler.hpp"
+
+namespace ntcsim::sim {
+namespace {
+
+std::string temp_report_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Profiler, ScopesAccumulateAndNest) {
+  static ProfSite outer("test.outer");
+  static ProfSite inner("test.inner");
+  const std::string path = temp_report_path("prof_nest.json");
+  {
+    ProfileSession session(path);
+    ASSERT_TRUE(session.owner());
+    ASSERT_TRUE(Profiler::enabled());
+    for (int i = 0; i < 3; ++i) {
+      ProfScope so(outer);
+      {
+        ProfScope si(inner);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  EXPECT_FALSE(Profiler::enabled());
+  EXPECT_EQ(outer.calls(), 3u);
+  EXPECT_EQ(inner.calls(), 3u);
+  EXPECT_GT(inner.ns(), 0u);
+  // The outer scope contains the inner one, so it accumulates at least as
+  // much wall time.
+  EXPECT_GE(outer.ns(), inner.ns());
+}
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  static ProfSite site("test.disabled");
+  site.reset();
+  ASSERT_FALSE(Profiler::enabled());
+  {
+    ProfScope s(site);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(site.calls(), 0u);
+  EXPECT_EQ(site.ns(), 0u);
+}
+
+TEST(Profiler, NestedSessionsAreInert) {
+  const std::string outer_path = temp_report_path("prof_outer.json");
+  const std::string inner_path = temp_report_path("prof_inner.json");
+  {
+    ProfileSession outer(outer_path);
+    ASSERT_TRUE(outer.owner());
+    {
+      ProfileSession inner(inner_path);
+      EXPECT_FALSE(inner.owner());
+      EXPECT_TRUE(Profiler::enabled());  // inner dtor must not disable
+    }
+    EXPECT_TRUE(Profiler::enabled());
+  }
+  EXPECT_FALSE(Profiler::enabled());
+  std::ifstream inner_file(inner_path);
+  EXPECT_FALSE(inner_file.good()) << "inert session must not write a report";
+}
+
+// The contract the perf harness depends on: profiling observes, never
+// perturbs. Every simulated metric must be bit-identical with and without
+// an active session.
+TEST(Profiler, ProfilingHasZeroEffectOnSimulatedMetrics) {
+  SystemConfig cfg = SystemConfig::tiny();
+  cfg.cores = 1;
+  ExperimentOptions opts;
+  opts.scale = 0.05;
+  opts.setup_scale = 0.05;
+
+  const Metrics plain =
+      run_cell(Mechanism::kTc, WorkloadKind::kHashtable, cfg, opts);
+  Metrics profiled;
+  {
+    ProfileSession session(temp_report_path("prof_effect.json"));
+    ASSERT_TRUE(session.owner());
+    profiled = run_cell(Mechanism::kTc, WorkloadKind::kHashtable, cfg, opts);
+  }
+
+  EXPECT_EQ(plain.cycles, profiled.cycles);
+  EXPECT_EQ(plain.retired_uops, profiled.retired_uops);
+  EXPECT_EQ(plain.committed_txs, profiled.committed_txs);
+  EXPECT_EQ(plain.nvm_writes, profiled.nvm_writes);
+  EXPECT_EQ(plain.nvm_reads, profiled.nvm_reads);
+  EXPECT_EQ(plain.dram_writes, profiled.dram_writes);
+  EXPECT_EQ(plain.llc_miss_rate, profiled.llc_miss_rate);
+  EXPECT_EQ(plain.ipc, profiled.ipc);
+  EXPECT_EQ(plain.pload_latency, profiled.pload_latency);
+}
+
+TEST(Profiler, ReportRoundTripsThroughParseCheck) {
+  SystemConfig cfg = SystemConfig::tiny();
+  cfg.cores = 1;
+  ExperimentOptions opts;
+  opts.scale = 0.05;
+  opts.setup_scale = 0.05;
+  const std::string path = temp_report_path("prof_roundtrip.json");
+  {
+    ProfileSession session(path);
+    ASSERT_TRUE(session.owner());
+    run_cell(Mechanism::kOptimal, WorkloadKind::kSps, cfg, opts);
+  }
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(json_parse_check(text)) << text;
+  // The report carries the fields CI's perf smoke consumes.
+  EXPECT_NE(text.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(text.find("\"cells_per_sec\""), std::string::npos);
+  EXPECT_NE(text.find("\"cell_times\""), std::string::npos);
+  EXPECT_NE(text.find("\"phases\""), std::string::npos);
+  EXPECT_NE(text.find("step.cores"), std::string::npos);
+  EXPECT_NE(text.find("cell.measured"), std::string::npos);
+}
+
+TEST(Profiler, JsonParseCheckAcceptsValidRejectsMalformed) {
+  EXPECT_TRUE(json_parse_check("{}"));
+  EXPECT_TRUE(json_parse_check("[]"));
+  EXPECT_TRUE(json_parse_check("{\"a\": [1, 2.5, -3e4], \"b\": \"x\\\"y\"}"));
+  EXPECT_TRUE(json_parse_check("{\"t\": true, \"n\": null}"));
+  EXPECT_FALSE(json_parse_check(""));
+  EXPECT_FALSE(json_parse_check("{"));
+  EXPECT_FALSE(json_parse_check("{\"a\": }"));
+  EXPECT_FALSE(json_parse_check("{\"a\": 1,}"));
+  EXPECT_FALSE(json_parse_check("{\"a\": 1} trailing"));
+  EXPECT_FALSE(json_parse_check("{a: 1}"));
+}
+
+}  // namespace
+}  // namespace ntcsim::sim

@@ -77,6 +77,72 @@ INSTANTIATE_TEST_SUITE_P(Goldens, RegressionMetrics,
                            return n;
                          });
 
+// Hardware-independent cost guards on the simulator's own hot path.
+// These counts are deterministic (no wall clock involved), so they pin
+// the algorithmic costs directly: a change that reintroduces per-access
+// by-name stat lookups or floods the event queue fails here even if the
+// machine running CI is fast enough to hide it.
+
+// Runs the golden cell up to the end of setup, then the measured phase,
+// reporting the two cost counters across the measured phase only.
+struct HotPathCost {
+  std::uint64_t name_lookups;
+  std::uint64_t event_pushes;
+  std::uint64_t retired;
+};
+
+HotPathCost measure_hot_path(Mechanism mech) {
+  SystemConfig cfg = SystemConfig::tiny();
+  cfg.cores = 1;
+  cfg.mechanism = mech;
+  workload::WorkloadParams p =
+      workload::default_params(WorkloadKind::kHashtable);
+  p.setup_elems = 500;
+  p.ops = 300;
+  p.seed = 42;
+  p.compute_per_op = 64;
+
+  workload::SimHeap heap(cfg.address_space, 1);
+  workload::TraceBundle b = workload::generate_phased(p, 0, heap, nullptr);
+  System sys(cfg);
+  sys.load_trace(0, std::move(b.setup));
+  sys.run();
+  sys.reset_stats();
+  const std::uint64_t lookups_before = sys.stats().name_lookups();
+  const std::uint64_t pushes_before = sys.events().total_pushes();
+  sys.load_trace(0, std::move(b.measured));
+  sys.run();
+  HotPathCost cost;
+  cost.name_lookups = sys.stats().name_lookups() - lookups_before;
+  cost.event_pushes = sys.events().total_pushes() - pushes_before;
+  cost.retired = sys.metrics().retired_uops;
+  return cost;
+}
+
+// Components resolve their stats once at construction (StatHandle); the
+// per-cycle loop must never fall back to by-name lookup.
+TEST(RegressionMetrics, NoStatNameLookupsDuringMeasuredRun) {
+  for (const Golden& g : kGoldens) {
+    const HotPathCost cost = measure_hot_path(g.mech);
+    EXPECT_EQ(cost.name_lookups, 0u) << to_string(g.mech);
+  }
+}
+
+// Events are scheduled per memory-system transaction, not per cycle or
+// per µop, so pushes are a small fraction of retired work. Bound them
+// at 2x the measured ceiling so intentional model changes have headroom
+// while a per-cycle push (which would be >= cycles, ~100x this) fails.
+TEST(RegressionMetrics, EventQueuePushesStayProportionalToWork) {
+  for (const Golden& g : kGoldens) {
+    const HotPathCost cost = measure_hot_path(g.mech);
+    ASSERT_GT(cost.retired, 0u);
+    const double per_uop = static_cast<double>(cost.event_pushes) /
+                           static_cast<double>(cost.retired);
+    EXPECT_LE(per_uop, 0.60) << to_string(g.mech) << ": " << cost.event_pushes
+                             << " pushes / " << cost.retired << " uops";
+  }
+}
+
 // The qualitative paper ordering, pinned as a regression property.
 TEST(RegressionMetrics, MechanismOrderingIsStable) {
   std::map<Mechanism, Cycle> cycles;

@@ -13,12 +13,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "recovery/recovery.hpp"
 #include "sim/config_io.hpp"
 #include "sim/experiment.hpp"
+#include "sim/profiler.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "sim/system.hpp"
@@ -47,6 +49,9 @@ void usage() {
       "  --jobs=N             worker threads for --matrix (default: all\n"
       "                       cores; NTCSIM_JOBS is the env equivalent)\n"
       "  --scale=X            scale factor on measured ops for --matrix\n"
+      "  --profile[=FILE]     time the simulator's own phases and write a\n"
+      "                       self-perf report (default BENCH_selfperf.json);\n"
+      "                       simulated metrics are unaffected\n"
       "  --csv                machine-readable one-row output\n"
       "  --stats              dump every raw statistic after the run\n"
       "  --dump-config        print the effective configuration and exit\n"
@@ -64,6 +69,8 @@ struct Cli {
   bool matrix = false;
   unsigned jobs = 0;  // 0 = auto
   double scale = 1.0;
+  bool profile = false;
+  std::string profile_out = "BENCH_selfperf.json";
   bool csv = false;
   bool stats = false;
   bool dump_config = false;
@@ -138,8 +145,17 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       cli.matrix = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
       cli.jobs = static_cast<unsigned>(std::stoul(value()));
+    } else if (a == "--jobs" && i + 1 < argc) {
+      cli.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (a.rfind("--scale=", 0) == 0) {
       cli.scale = std::stod(value());
+    } else if (a == "--scale" && i + 1 < argc) {
+      cli.scale = std::stod(argv[++i]);
+    } else if (a == "--profile") {
+      cli.profile = true;
+    } else if (a.rfind("--profile=", 0) == 0) {
+      cli.profile = true;
+      cli.profile_out = value();
     } else if (a == "--csv") {
       cli.csv = true;
     } else if (a == "--stats") {
@@ -270,6 +286,12 @@ int main(int argc, char** argv) {
   if (cli.dump_config) {
     sim::write_config(std::cout, cli.cfg);
     return 0;
+  }
+  // Opened here (not in run_matrix_mode) so single-cell runs profile too;
+  // the inner session run_sweep would open is inert while this one lives.
+  std::unique_ptr<sim::ProfileSession> session;
+  if (cli.profile) {
+    session = std::make_unique<sim::ProfileSession>(cli.profile_out);
   }
   if (cli.matrix) return run_matrix_mode(cli);
   return run(cli);
