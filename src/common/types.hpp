@@ -35,6 +35,10 @@ constexpr Addr line_of(Addr a) { return a & ~static_cast<Addr>(kLineBytes - 1); 
 constexpr Addr word_of(Addr a) { return a & ~static_cast<Addr>(kWordBytes - 1); }
 
 /// Persistence mechanisms compared in the paper's evaluation (§5.1).
+/// These enum constants are the *built-in* ids; mechanisms added through
+/// persist::DomainRegistry receive ids from kNumBuiltinMechanisms upward,
+/// so a Mechanism value is an open identifier, not a closed set. Behaviour
+/// never switches on this type outside src/persist/ — it is only an id.
 enum class Mechanism {
   kOptimal,  ///< Native execution, no persistence guarantee.
   kSp,       ///< Software persistence: WAL + clwb/sfence/pcommit.
@@ -45,6 +49,11 @@ enum class Mechanism {
              ///< only sfence (pcommit-free, as on post-2016 Intel systems).
 };
 
+/// First id available to registry-defined mechanisms.
+inline constexpr int kNumBuiltinMechanisms = 5;
+
+/// Built-in names only; registry-defined mechanisms are named by their
+/// DomainInfo (use persist::DomainRegistry::display_name for any id).
 constexpr std::string_view to_string(Mechanism m) {
   switch (m) {
     case Mechanism::kOptimal: return "Optimal";

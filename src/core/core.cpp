@@ -6,23 +6,15 @@
 
 namespace ntcsim::core {
 
-Core::Core(CoreId id, const CoreConfig& cfg, Mechanism mechanism,
-           cache::Hierarchy& hier, txcache::TxCache* ntc, CommitEngine* engine,
-           StatSet& stats)
+Core::Core(CoreId id, const CoreConfig& cfg, PersistHooks& domain,
+           cache::Hierarchy& hier, StatSet& stats)
     : id_(id),
       cfg_(cfg),
-      mech_(mechanism),
+      domain_(&domain),
+      traits_(domain.core_traits()),
       hier_(&hier),
-      ntc_(ntc),
-      engine_(engine),
       stats_(&stats),
       prefix_("core" + std::to_string(id)) {
-  if (mech_ == Mechanism::kTc) {
-    NTC_ASSERT(ntc_ != nullptr, "TC mechanism requires a transaction cache");
-  }
-  if (mech_ == Mechanism::kKiln) {
-    NTC_ASSERT(engine_ != nullptr, "Kiln mechanism requires a commit engine");
-  }
   stat_load_lat_ = AccumulatorHandle(*stats_, prefix_ + ".load_latency");
   stat_pload_lat_ = AccumulatorHandle(*stats_, prefix_ + ".pload_latency");
   stat_pload_hist_ = HistogramHandle(*stats_, prefix_ + ".pload_latency_hist");
@@ -100,10 +92,9 @@ void Core::on_load_done_(RobEntry* e) {
 }
 
 void Core::issue_loads_(Cycle now) {
-  // Kiln: an in-flight commit flush occupies this core's cache ports
-  // ("blocks subsequent cache and memory requests", §5.2) — no new loads
-  // issue until the flush into the NV-LLC completes.
-  if (mech_ == Mechanism::kKiln && !engine_->commit_done(id_)) return;
+  // E.g. Kiln: an in-flight commit flush occupies this core's cache ports
+  // — no new loads issue until the domain releases them.
+  if (traits_.may_block_loads && domain_->loads_blocked(id_)) return;
   unsigned issued = 0;
   while (!unissued_q_.empty() && issued < cfg_.issue_width) {
     RobEntry* e = unissued_q_.front();
@@ -154,31 +145,27 @@ void Core::drain_store_buffer_(Cycle now) {
   unsigned drained = 0;
   while (!sb_.empty() && drained < 2) {
     SbEntry& e = sb_.front();
-    const bool needs_ntc = mech_ == Mechanism::kTc && e.persistent &&
-                           e.tx != kNoTx;
-    if (needs_ntc && !e.ntc_done) {
-      if (!ntc_->write(now, e.addr, e.value, e.tx)) {
-        // Count only capacity stalls (the paper's §5.2 metric); port-rate
-        // pacing at slow CAM latencies is reported separately by the NTC.
-        if (ntc_->full() || ntc_->overflow_imminent()) {
+    const bool in_tx = e.persistent && e.tx != kNoTx;
+    if (traits_.routes_tx_stores && in_tx && !e.routed) {
+      switch (domain_->route_store(now, id_, e.addr, e.value, e.tx)) {
+        case StoreRoute::kAccepted:
+          e.routed = true;
+          break;
+        case StoreRoute::kRetryCapacity:
           stat_ntc_stall_->inc();
-        }
-        return;
+          return;
+        case StoreRoute::kRetry:
+          return;
       }
-      e.ntc_done = true;
     }
     if (!e.hier_done) {
       if (!hier_->store(now, id_, e.addr, e.value, e.persistent, e.tx)) {
         return;  // cache resources exhausted; retry next cycle
       }
       e.hier_done = true;
-      if (mech_ == Mechanism::kKiln && e.persistent && e.tx != kNoTx) {
-        engine_->on_store(now, id_, e.addr, e.value, e.tx);
+      if (traits_.observes_tx_stores && in_tx) {
+        domain_->on_store_drained(now, id_, e.addr, e.value, e.tx);
       }
-    }
-    if (e.persistent && e.tx != kNoTx && e.tx == mode_reg_ &&
-        sb_tx_pending_ > 0) {
-      --sb_tx_pending_;
     }
     sb_.pop_front();
     ++drained;
@@ -213,9 +200,8 @@ bool Core::retire_one_(Cycle now) {
       s.persistent = e.op.persistent;
       s.tx = e.op.persistent ? mode_reg_ : kNoTx;
       sb_.push_back(s);
-      if (s.persistent && s.tx != kNoTx &&
-          (mech_ == Mechanism::kTc || mech_ == Mechanism::kKiln)) {
-        ++sb_tx_pending_;
+      if (traits_.observes_tx_stores && s.persistent && s.tx != kNoTx) {
+        domain_->on_store_retired(id_, s.tx);
       }
       break;
     }
@@ -248,38 +234,20 @@ bool Core::retire_one_(Cycle now) {
                  "trace TxIds must be strictly increasing");
       mode_reg_ = static_cast<TxId>(e.op.value);
       next_tx_reg_ = mode_reg_ + 1;
-      sb_tx_pending_ = 0;
-      if (mech_ == Mechanism::kKiln) engine_->begin_tx(id_, mode_reg_);
+      domain_->on_tx_begin(id_, mode_reg_);
       break;
     }
 
     case OpKind::kTxEnd: {
       NTC_ASSERT(mode_reg_ != kNoTx, "TX_END outside a transaction");
-      switch (mech_) {
-        case Mechanism::kOptimal:
-        case Mechanism::kSp:
-        case Mechanism::kSpAdr:
-          break;  // commit is free / already enforced by the trace
-        case Mechanism::kTc:
-          if (sb_tx_pending_ > 0) {
-            note_stall_(Stall::kTxendDrain);
-            return false;  // all tx stores must be in the NTC first
-          }
-          ntc_->commit(mode_reg_);
-          break;
-        case Mechanism::kKiln:
-          if (sb_tx_pending_ > 0) {
-            note_stall_(Stall::kTxendDrain);
-            return false;
-          }
-          // Commits are serialized per core: the flush of the previous
-          // transaction must have completed before this one may start;
-          // the flush itself runs in the background.
-          if (!engine_->commit_done(id_)) {
-            note_stall_(Stall::kTxendFlush);
-            return false;
-          }
-          engine_->begin_commit(now, id_, mode_reg_);
+      switch (domain_->on_tx_end(now, id_, mode_reg_)) {
+        case TxEndResult::kStallDrain:
+          note_stall_(Stall::kTxendDrain);
+          return false;
+        case TxEndResult::kStallFlush:
+          note_stall_(Stall::kTxendFlush);
+          return false;
+        case TxEndResult::kCommitted:
           break;
       }
       mode_reg_ = kNoTx;

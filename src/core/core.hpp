@@ -1,14 +1,10 @@
 // Out-of-order-window core timing model (the PTLsim substitute): 4-wide
 // fetch/retire, ROB-limited instruction window, store buffer with
 // forwarding, fence semantics, and the TxID/Mode + NextTxID registers of
-// §4.2. Persistence-mechanism behaviour at stores and TX_END follows the
-// installed policy:
-//   * TC — persistent in-tx stores are ALSO inserted into the NTC as they
-//     drain; TX_END sends a non-blocking commit request. The only stall the
-//     mechanism adds is a full NTC (§5.2).
-//   * Kiln — stores are reported to the commit engine; TX_END stalls until
-//     the engine's blocking flush finishes.
-//   * SP — the trace already carries log stores, clwb, sfence, pcommit.
+// §4.2. The core is mechanism-agnostic: every persistence-specific
+// decision at a store, TX_BEGIN or TX_END is delegated to the installed
+// PersistHooks (see persist_hooks.hpp); the domain's static traits are
+// cached at construction so unused hooks cost nothing per cycle.
 #pragma once
 
 #include <cstdint>
@@ -22,17 +18,15 @@
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
-#include "core/commit_engine.hpp"
+#include "core/persist_hooks.hpp"
 #include "core/trace.hpp"
-#include "txcache/tx_cache.hpp"
 
 namespace ntcsim::core {
 
 class Core {
  public:
-  Core(CoreId id, const CoreConfig& cfg, Mechanism mechanism,
-       cache::Hierarchy& hier, txcache::TxCache* ntc, CommitEngine* engine,
-       StatSet& stats);
+  Core(CoreId id, const CoreConfig& cfg, PersistHooks& domain,
+       cache::Hierarchy& hier, StatSet& stats);
 
   void bind_trace(const Trace* trace);
   void tick(Cycle now);
@@ -62,7 +56,7 @@ class Core {
     bool persistent = false;
     TxId tx = kNoTx;
     bool hier_done = false;
-    bool ntc_done = false;
+    bool routed = false;  ///< Accepted by the domain's route_store().
   };
 
   /// Retire-blocking reasons, one pre-resolved counter each. Registered
@@ -96,10 +90,9 @@ class Core {
 
   CoreId id_;
   CoreConfig cfg_;
-  Mechanism mech_;
+  PersistHooks* domain_;
+  PersistCoreTraits traits_;  ///< domain_->core_traits(), cached once.
   cache::Hierarchy* hier_;
-  txcache::TxCache* ntc_;
-  CommitEngine* engine_;
   StatSet* stats_;
   std::string prefix_;
 
@@ -113,7 +106,6 @@ class Core {
   TxId mode_reg_ = kNoTx;
   TxId next_tx_reg_ = 1;
 
-  unsigned sb_tx_pending_ = 0;        ///< Current-tx stores not yet drained.
   unsigned outstanding_log_flushes_ = 0;   ///< clwb(log)/ntstore awaiting ack.
   unsigned outstanding_data_flushes_ = 0;  ///< lazy data clean-backs.
 

@@ -1,30 +1,11 @@
 #include "persist/policy.hpp"
 
+#include "persist/domain.hpp"
+
 namespace ntcsim::persist {
 
 Policy policy_for(Mechanism m) {
-  Policy p;
-  switch (m) {
-    case Mechanism::kOptimal:
-      break;
-    case Mechanism::kSp:
-      p.software_logging = true;
-      break;
-    case Mechanism::kSpAdr:
-      p.software_logging = true;
-      p.adr_domain = true;
-      break;
-    case Mechanism::kTc:
-      p.route_stores_to_ntc = true;
-      p.drop_persistent_llc_writeback = true;
-      p.probe_ntc_on_llc_miss = true;
-      break;
-    case Mechanism::kKiln:
-      p.llc_nonvolatile = true;
-      p.flush_on_commit = true;
-      break;
-  }
-  return p;
+  return DomainRegistry::instance().info(m).policy;
 }
 
 }  // namespace ntcsim::persist

@@ -25,8 +25,13 @@ struct Policy {
   /// The NVM controller's write queue is power-fail protected (ADR):
   /// acceptance == durability, and the SP transform omits pcommit.
   bool adr_domain = false;
+  /// Crash experiments need durable-state tracking for this mechanism's
+  /// recovery procedure (every mechanism except Optimal).
+  bool needs_recovery_images = false;
 };
 
+/// The registered domain's Policy (see DomainRegistry in domain.hpp — the
+/// registry is the single source of truth; this is a convenience wrapper).
 Policy policy_for(Mechanism m);
 
 }  // namespace ntcsim::persist

@@ -1,0 +1,135 @@
+// TC-NODRAIN: an eADR-style variant of the paper's transaction cache.
+//
+// Rationale: post-eADR platforms battery-back the whole on-chip persistence
+// path, so a commit no longer needs to wait for anything to drain before it
+// is acknowledged. Modelled here as TC with TX_END taken off the critical
+// path: the µop retires immediately and the NTC commit request is issued
+// lazily, when the transaction's last store drains out of the store buffer.
+// Store routing, LLC write-back disposition, NTC probing and recovery are
+// exactly TC's.
+//
+// This file is the registry-seam proof for the PersistenceDomain layer: a
+// whole new mechanism in one file under src/persist/, registered from the
+// registry bootstrap — no edits to core/, cache/, sim/ or mem/. It appears
+// automatically in --list-mechanisms, --matrix and the sweep CSVs.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/stat_handle.hpp"
+#include "persist/domain.hpp"
+#include "recovery/recovery.hpp"
+#include "txcache/tx_cache.hpp"
+
+namespace ntcsim::persist {
+
+namespace {
+
+Policy tc_nodrain_policy() {
+  Policy p;
+  p.route_stores_to_ntc = true;
+  p.drop_persistent_llc_writeback = true;
+  p.probe_ntc_on_llc_miss = true;
+  p.needs_recovery_images = true;
+  return p;
+}
+
+class TcNodrainDomain final : public PersistenceDomain {
+ public:
+  TcNodrainDomain() : PersistenceDomain(tc_nodrain_policy()) {}
+  std::string_view name() const override { return "tc-nodrain"; }
+
+  void bind(const DomainWiring& wiring) override {
+    NTC_ASSERT(!wiring.ntcs.empty(),
+               "TC-NODRAIN mechanism requires a transaction cache");
+    PersistenceDomain::bind(wiring);
+    state_.assign(wiring.cfg->cores, {});
+    stat_lazy_commits_ =
+        CounterHandle(*wiring.stats, "tc_nodrain.lazy_commits");
+  }
+
+  core::PersistCoreTraits core_traits() const override {
+    core::PersistCoreTraits t;
+    t.routes_tx_stores = true;
+    t.observes_tx_stores = true;
+    return t;
+  }
+
+  void on_store_retired(CoreId core, TxId tx) override {
+    ++state_[core].pending[tx];
+  }
+
+  core::StoreRoute route_store(Cycle now, CoreId core, Addr addr, Word value,
+                               TxId tx) override {
+    txcache::TxCache* ntc = wiring().ntcs[core];
+    if (ntc->write(now, addr, value, tx)) return core::StoreRoute::kAccepted;
+    return (ntc->full() || ntc->overflow_imminent())
+               ? core::StoreRoute::kRetryCapacity
+               : core::StoreRoute::kRetry;
+  }
+
+  void on_store_drained(Cycle /*now*/, CoreId core, Addr /*addr*/,
+                        Word /*value*/, TxId tx) override {
+    PerCore& pc = state_[core];
+    const auto it = pc.pending.find(tx);
+    if (it == pc.pending.end()) return;
+    if (--it->second > 0) return;
+    pc.pending.erase(it);
+    // Last store of `tx` is in the NTC; if the program already ended the
+    // transaction, the deferred commit request fires now.
+    if (pc.ended.erase(tx) > 0) {
+      wiring().ntcs[core]->commit(tx);
+      stat_lazy_commits_->inc();
+    }
+  }
+
+  // Battery-backed commit: TX_END acknowledges immediately. Stores retire
+  // in program order, so by the time TX_END retires the pending count for
+  // `tx` is final — either everything already drained (commit now) or the
+  // commit is deferred to the last drain.
+  core::TxEndResult on_tx_end(Cycle /*now*/, CoreId core, TxId tx) override {
+    PerCore& pc = state_[core];
+    if (pc.pending.find(tx) == pc.pending.end()) {
+      wiring().ntcs[core]->commit(tx);
+    } else {
+      pc.ended.insert(tx);
+    }
+    return core::TxEndResult::kCommitted;
+  }
+
+  recovery::WordImage recover(
+      const recovery::DurableState& durable) const override {
+    // TC recovery verbatim: replay committed NTC entries in FIFO order. A
+    // transaction whose deferred commit had not reached the NTC at crash
+    // time is discarded whole — still all-or-nothing, one prefix shorter.
+    std::vector<recovery::NtcSnapshot> snaps;
+    snaps.reserve(wiring().ntcs.size());
+    for (const txcache::TxCache* n : wiring().ntcs) {
+      snaps.push_back(n->snapshot());
+    }
+    return recovery::recover_tc(durable, snaps);
+  }
+
+ private:
+  struct PerCore {
+    /// Undrained store count per open transaction (several transactions
+    /// may be in flight at once — TX_END does not wait).
+    std::unordered_map<TxId, unsigned> pending;
+    /// Transactions past TX_END whose commit request is still deferred.
+    std::unordered_set<TxId> ended;
+  };
+  std::vector<PerCore> state_;
+  CounterHandle stat_lazy_commits_;
+};
+
+}  // namespace
+
+void register_tc_nodrain(DomainRegistry& registry) {
+  registry.add({kAutoMechanismId, "tc-nodrain", "TC-NODRAIN",
+                "eADR-style TC: battery-backed NTC, commit acks immediately",
+                {"tcnodrain"}, 4, tc_nodrain_policy(),
+                [] { return std::make_unique<TcNodrainDomain>(); }});
+}
+
+}  // namespace ntcsim::persist

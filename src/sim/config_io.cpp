@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "persist/domain.hpp"
+
 namespace ntcsim::sim {
 
 namespace {
@@ -22,6 +24,9 @@ std::string trim(const std::string& s) {
 struct Key {
   std::function<bool(SystemConfig&, const std::string&)> set;
   std::function<std::string(const SystemConfig&)> get;
+  /// Optional: appended to the invalid-value error ("known mechanisms:
+  /// ..."), for keys whose value space is not obvious from the name.
+  std::function<std::string()> hint{};
 };
 
 template <typename T, typename Field>
@@ -72,10 +77,12 @@ const std::map<std::string, Key>& registry() {
           return parse_mechanism(v, c.mechanism);
         },
         [](const SystemConfig& c) {
-          std::string s(to_string(c.mechanism));
-          std::transform(s.begin(), s.end(), s.begin(),
-                         [](unsigned char ch) { return std::tolower(ch); });
-          return s;
+          // Canonical registry name (already lower-case), e.g. "sp-adr".
+          return persist::DomainRegistry::instance().info(c.mechanism).name;
+        },
+        [] {
+          return "known mechanisms: " +
+                 persist::DomainRegistry::instance().known_names();
         }};
     k["track_recovery"] = Key{
         [](SystemConfig& c, const std::string& v) {
@@ -166,23 +173,7 @@ const std::map<std::string, Key>& registry() {
 }  // namespace
 
 bool parse_mechanism(const std::string& name, Mechanism& out) {
-  std::string s = name;
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (s == "tc") {
-    out = Mechanism::kTc;
-  } else if (s == "sp") {
-    out = Mechanism::kSp;
-  } else if (s == "kiln") {
-    out = Mechanism::kKiln;
-  } else if (s == "sp-adr" || s == "spadr") {
-    out = Mechanism::kSpAdr;
-  } else if (s == "optimal" || s == "native") {
-    out = Mechanism::kOptimal;
-  } else {
-    return false;
-  }
-  return true;
+  return persist::DomainRegistry::instance().parse(name, out);
 }
 
 bool parse_workload(const std::string& name, WorkloadKind& out) {
@@ -215,7 +206,10 @@ ConfigParseResult apply_config_line(const std::string& raw,
     return {false, "unknown configuration key \"" + key + "\""};
   }
   if (!it->second.set(cfg, value)) {
-    return {false, "invalid value \"" + value + "\" for key \"" + key + "\""};
+    std::string error =
+        "invalid value \"" + value + "\" for key \"" + key + "\"";
+    if (it->second.hint) error += "; " + it->second.hint();
+    return {false, std::move(error)};
   }
   return {};
 }

@@ -3,7 +3,8 @@
 // can be described in files instead of recompiled code. `#` starts a
 // comment; unknown keys are hard errors (silent typos corrupt experiments).
 //
-//   mechanism      = tc            # tc | sp | kiln | optimal
+//   mechanism      = tc            # any registered domain; see
+//                                  # `ntcsim --list-mechanisms`
 //   cores          = 4
 //   ghz            = 2.0
 //   l1.size_kb     = 32
@@ -45,8 +46,8 @@ ConfigParseResult apply_config_line(const std::string& line,
 /// round-trips through apply_config.
 void write_config(std::ostream& os, const SystemConfig& cfg);
 
-/// Parse a mechanism name ("tc", "sp", "kiln", "optimal"); ok=false and an
-/// unmodified `out` on unknown names.
+/// Parse a mechanism name or alias against the persist::DomainRegistry
+/// (case-insensitive); false and an unmodified `out` on unknown names.
 bool parse_mechanism(const std::string& name, Mechanism& out);
 bool parse_workload(const std::string& name, WorkloadKind& out);
 

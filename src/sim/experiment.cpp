@@ -7,20 +7,31 @@
 
 #include "common/assert.hpp"
 #include "common/table.hpp"
+#include "persist/domain.hpp"
 #include "recovery/journal.hpp"
 #include "sim/profiler.hpp"
 #include "sim/sweep.hpp"
 
 namespace ntcsim::sim {
 
+std::vector<Mechanism> matrix_mechanisms() {
+  return persist::DomainRegistry::instance().matrix_mechanisms();
+}
+
+std::string_view mechanism_label(Mechanism mech) {
+  return persist::DomainRegistry::instance().display_name(mech);
+}
+
 Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
                  const ExperimentOptions& opts) {
   SystemConfig cfg = base;
   cfg.mechanism = mech;
-  cfg.track_recovery_state = opts.track_recovery ||
-                             mech != Mechanism::kOptimal;
-  // Even when the caller skips recovery *checking*, SP/TC/Kiln need the
-  // volatile/durable images to carry functional payloads; Optimal does not.
+  cfg.track_recovery_state =
+      opts.track_recovery ||
+      persist::policy_for(mech).needs_recovery_images;
+  // Even when the caller skips recovery *checking*, most mechanisms need
+  // the volatile/durable images to carry functional payloads (their
+  // recovery paths read them); Optimal does not.
 
   workload::WorkloadParams params = workload::default_params(wl);
   params.seed = opts.seed;
@@ -61,16 +72,17 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
   if (Profiler::enabled()) {
     const auto cell_end = std::chrono::steady_clock::now();
     Profiler::add_cell(
-        std::string(to_string(mech)) + "/" + std::string(to_string(wl)),
+        std::string(mechanism_label(mech)) + "/" + std::string(to_string(wl)),
         std::chrono::duration<double>(cell_end - cell_start).count());
   }
   return sys.metrics();
 }
 
 Matrix run_matrix(const SystemConfig& base, const ExperimentOptions& opts) {
+  const std::vector<Mechanism> mechs = matrix_mechanisms();
   std::vector<JobSpec> specs;
   for (WorkloadKind wl : kAllWorkloads) {
-    for (Mechanism mech : kAllMechanisms) {
+    for (Mechanism mech : mechs) {
       specs.push_back({mech, wl, base, opts});
     }
   }
@@ -78,7 +90,7 @@ Matrix run_matrix(const SystemConfig& base, const ExperimentOptions& opts) {
   Matrix m;
   std::size_t i = 0;
   for (WorkloadKind wl : kAllWorkloads) {
-    for (Mechanism mech : kAllMechanisms) {
+    for (Mechanism mech : mechs) {
       m[wl][mech] = cells[i++];
     }
   }
@@ -99,9 +111,17 @@ void print_figure(std::ostream& os, const std::string& title,
                   const Matrix& matrix, double (*metric)(const Metrics&),
                   const std::string& caption) {
   os << title << '\n' << caption << '\n';
+  // Columns are the mechanisms actually present in this matrix (a caller
+  // may build a custom one), ordered as the registry's matrix columns.
+  std::vector<Mechanism> mechs;
+  for (Mechanism mech : matrix_mechanisms()) {
+    if (!matrix.empty() && matrix.begin()->second.count(mech) > 0) {
+      mechs.push_back(mech);
+    }
+  }
   std::vector<std::string> header{"workload"};
-  for (Mechanism mech : kAllMechanisms) {
-    header.emplace_back(to_string(mech));
+  for (Mechanism mech : mechs) {
+    header.emplace_back(mechanism_label(mech));
   }
   Table table(std::move(header));
 
@@ -109,7 +129,7 @@ void print_figure(std::ostream& os, const std::string& title,
   for (const auto& [wl, row] : matrix) {
     const double base = metric(row.at(Mechanism::kOptimal));
     std::vector<double> cells;
-    for (Mechanism mech : kAllMechanisms) {
+    for (Mechanism mech : mechs) {
       const double v = metric(row.at(mech));
       const double norm = base == 0.0 ? 0.0 : v / base;
       cells.push_back(norm);
@@ -118,7 +138,7 @@ void print_figure(std::ostream& os, const std::string& title,
     table.add_row(std::string(to_string(wl)), cells);
   }
   std::vector<double> gmeans;
-  for (Mechanism mech : kAllMechanisms) {
+  for (Mechanism mech : mechs) {
     gmeans.push_back(columns[mech].empty() ? 0.0
                                            : geometric_mean(columns[mech]));
   }

@@ -6,6 +6,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/config.hpp"
@@ -15,8 +16,15 @@
 
 namespace ntcsim::sim {
 
-inline constexpr Mechanism kAllMechanisms[] = {
-    Mechanism::kSp, Mechanism::kTc, Mechanism::kKiln, Mechanism::kOptimal};
+/// The evaluation-matrix mechanism columns, in figure order (SP, TC, Kiln,
+/// Optimal, then any registered extensions). Enumerated from the
+/// persist::DomainRegistry, so mechanisms added there appear in --matrix
+/// and the sweep CSVs with no changes here.
+std::vector<Mechanism> matrix_mechanisms();
+
+/// Figure/CSV label for any registered mechanism ("TC", "TC-NODRAIN", ...);
+/// unlike to_string(Mechanism) this also covers registry-defined ids.
+std::string_view mechanism_label(Mechanism mech);
 
 inline constexpr WorkloadKind kAllWorkloads[] = {
     WorkloadKind::kGraph, WorkloadKind::kRbtree, WorkloadKind::kSps,

@@ -25,7 +25,7 @@ void write_matrix_csv(std::ostream& os, const Matrix& matrix) {
     for (const auto& [mech, metrics] : row) {
       write_metrics_csv_row(
           os,
-          std::string(to_string(wl)) + "/" + std::string(to_string(mech)),
+          std::string(to_string(wl)) + "/" + std::string(mechanism_label(mech)),
           metrics);
     }
   }

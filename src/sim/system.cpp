@@ -11,7 +11,10 @@ namespace ntcsim::sim {
 
 System::System(const SystemConfig& cfg, SystemOptions opts,
                persist::KilnConfig kiln_cfg)
-    : cfg_(cfg), opts_(opts), policy_(persist::policy_for(cfg.mechanism)) {
+    : cfg_(cfg),
+      opts_(opts),
+      domain_(persist::DomainRegistry::instance().create(cfg.mechanism)),
+      policy_(domain_->policy()) {
   mem_ = std::make_unique<mem::MemorySystem>(cfg_, events_, stats_);
   mem_->set_adr_domain(policy_.adr_domain);
   if (cfg_.track_recovery_state) {
@@ -54,12 +57,40 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
     };
   }
 
+  // The generic machinery the domain's Policy asked for exists; attach the
+  // domain to it before any core can call a hook.
+  {
+    persist::DomainWiring wiring;
+    wiring.cfg = &cfg_;
+    for (auto& n : ntcs_) wiring.ntcs.push_back(n.get());
+    wiring.engine = kiln_.get();
+    wiring.stats = &stats_;
+    domain_->bind(wiring);
+  }
+
   for (unsigned c = 0; c < cfg_.cores; ++c) {
-    cores_.push_back(std::make_unique<core::Core>(
-        c, cfg_.core, cfg_.mechanism, *hier_,
-        ntcs_.empty() ? nullptr : ntcs_[c].get(), kiln_.get(), stats_));
+    cores_.push_back(std::make_unique<core::Core>(c, cfg_.core, *domain_,
+                                                  *hier_, stats_));
   }
   traces_.resize(cfg_.cores);
+
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    const std::string p = "core" + std::to_string(c);
+    m_retired_.emplace_back(stats_, p + ".retired");
+    m_txs_.emplace_back(stats_, p + ".txs");
+    m_ntc_stalls_.emplace_back(stats_, p + ".ntc_stall_cycles");
+    m_pload_lat_.emplace_back(stats_, p + ".pload_latency");
+    m_pload_hist_.emplace_back(stats_, p + ".pload_latency_hist");
+  }
+  for (unsigned c = 0; c < ntcs_.size(); ++c) {
+    m_ntc_spills_.emplace_back(stats_, "ntc" + std::to_string(c) + ".spills");
+  }
+  m_llc_hits_ = CounterHandle(stats_, "llc.hits");
+  m_llc_misses_ = CounterHandle(stats_, "llc.misses");
+  m_llc_wb_dropped_ = CounterHandle(stats_, "llc.wb_dropped");
+  m_nvm_writes_ = CounterHandle(stats_, "nvm.writes");
+  m_nvm_reads_ = CounterHandle(stats_, "nvm.reads");
+  m_dram_writes_ = CounterHandle(stats_, "dram.writes");
 }
 
 void System::load_trace(CoreId core, core::Trace trace) {
@@ -139,22 +170,7 @@ bool System::run_for(Cycle cycles) {
 recovery::WordImage System::crash_and_recover() const {
   NTC_ASSERT(durable_ != nullptr,
              "crash_and_recover requires track_recovery_state");
-  switch (cfg_.mechanism) {
-    case Mechanism::kOptimal:
-      return recovery::recover_none(*durable_);
-    case Mechanism::kSp:
-    case Mechanism::kSpAdr:
-      return recovery::recover_sp(*durable_, cfg_.address_space, cfg_.cores);
-    case Mechanism::kTc: {
-      std::vector<recovery::NtcSnapshot> snaps;
-      snaps.reserve(ntcs_.size());
-      for (const auto& n : ntcs_) snaps.push_back(n->snapshot());
-      return recovery::recover_tc(*durable_, snaps);
-    }
-    case Mechanism::kKiln:
-      return recovery::recover_kiln(*durable_);
-  }
-  return recovery::recover_none(*durable_);
+  return domain_->recover(*durable_);
 }
 
 void System::reset_stats() {
@@ -166,44 +182,33 @@ Metrics System::metrics() const {
   Metrics m;
   m.cycles = now_ - stats_epoch_;
   for (unsigned c = 0; c < cfg_.cores; ++c) {
-    const std::string p = "core" + std::to_string(c);
-    m.retired_uops += stats_.counter_value(p + ".retired");
-    m.committed_txs += stats_.counter_value(p + ".txs");
+    m.retired_uops += m_retired_[c]->value();
+    m.committed_txs += m_txs_[c]->value();
   }
   if (m.cycles > 0) {
     m.ipc = static_cast<double>(m.retired_uops) / static_cast<double>(m.cycles);
     m.tx_per_kilocycle = 1000.0 * static_cast<double>(m.committed_txs) /
                          static_cast<double>(m.cycles);
   }
-  const std::uint64_t hits = stats_.counter_value("llc.hits");
-  const std::uint64_t misses = stats_.counter_value("llc.misses");
+  const std::uint64_t hits = m_llc_hits_->value();
+  const std::uint64_t misses = m_llc_misses_->value();
   if (hits + misses > 0) {
     m.llc_miss_rate =
         static_cast<double>(misses) / static_cast<double>(hits + misses);
   }
-  m.nvm_writes = stats_.counter_value("nvm.writes");
-  m.nvm_reads = stats_.counter_value("nvm.reads");
-  m.dram_writes = stats_.counter_value("dram.writes");
-  m.llc_wb_dropped = stats_.counter_value("llc.wb_dropped");
-  m.ntc_spills = stats_.counter_prefix_sum("ntc") == 0
-                     ? 0
-                     : [this] {
-                         std::uint64_t s = 0;
-                         for (unsigned c = 0; c < cfg_.cores; ++c) {
-                           s += stats_.counter_value("ntc" + std::to_string(c) +
-                                                     ".spills");
-                         }
-                         return s;
-                       }();
+  m.nvm_writes = m_nvm_writes_->value();
+  m.nvm_reads = m_nvm_reads_->value();
+  m.dram_writes = m_dram_writes_->value();
+  m.llc_wb_dropped = m_llc_wb_dropped_->value();
+  for (const CounterHandle& h : m_ntc_spills_) m.ntc_spills += h->value();
 
   double pload_sum = 0.0;
   std::uint64_t pload_n = 0;
   std::uint64_t ntc_stalls = 0;
   for (unsigned c = 0; c < cfg_.cores; ++c) {
-    const std::string p = "core" + std::to_string(c);
-    pload_sum += stats_.accumulator_sum(p + ".pload_latency");
-    pload_n += stats_.accumulator_count(p + ".pload_latency");
-    ntc_stalls += stats_.counter_value(p + ".ntc_stall_cycles");
+    pload_sum += m_pload_lat_[c]->sum();
+    pload_n += m_pload_lat_[c]->count();
+    ntc_stalls += m_ntc_stalls_[c]->value();
   }
   if (pload_n > 0) m.pload_latency = pload_sum / static_cast<double>(pload_n);
   {
@@ -211,8 +216,7 @@ Metrics System::metrics() const {
     // power-of-two upper bounds).
     Histogram merged;
     for (unsigned c = 0; c < cfg_.cores; ++c) {
-      merged.merge(const_cast<StatSet&>(stats_).histogram(
-          "core" + std::to_string(c) + ".pload_latency_hist"));
+      merged.merge(*m_pload_hist_[c]);
     }
     if (merged.total() > 0) {
       m.pload_latency_p50 = merged.percentile_edge(50.0);

@@ -1,5 +1,5 @@
 // Full-system assembly: cores + hierarchy + transaction caches + hybrid
-// memory + the selected persistence mechanism, with a crash-and-recover
+// memory + the selected persistence domain, with a crash-and-recover
 // entry point for the consistency experiments.
 #pragma once
 
@@ -10,10 +10,12 @@
 #include "cache/hierarchy.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "core/core.hpp"
 #include "core/trace.hpp"
 #include "mem/memory_system.hpp"
+#include "persist/domain.hpp"
 #include "persist/kiln_unit.hpp"
 #include "persist/policy.hpp"
 #include "recovery/images.hpp"
@@ -36,7 +38,7 @@ class System {
                   persist::KilnConfig kiln_cfg = {});
 
   /// Install a workload trace on one core. Applies the SP transform when
-  /// the configured mechanism is kSp.
+  /// the configured domain asks for software logging.
   void load_trace(CoreId core, core::Trace trace);
 
   /// Run until every core has retired its trace and all buffered effects
@@ -56,7 +58,7 @@ class System {
   const SystemConfig& config() const { return cfg_; }
 
   /// Simulate a power failure at the current cycle and run the configured
-  /// mechanism's recovery procedure over what is durable.
+  /// domain's recovery procedure over what is durable.
   recovery::WordImage crash_and_recover() const;
 
   core::Core& core(CoreId c) { return *cores_[c]; }
@@ -65,6 +67,7 @@ class System {
   }
   cache::Hierarchy& hierarchy() { return *hier_; }
   mem::MemorySystem& memory() { return *mem_; }
+  const persist::PersistenceDomain& domain() const { return *domain_; }
   const recovery::DurableState* durable() const { return durable_.get(); }
   /// Event-queue introspection (cost-regression guards count pushes).
   const EventQueue& events() const { return events_; }
@@ -74,7 +77,8 @@ class System {
 
   SystemConfig cfg_;
   SystemOptions opts_;
-  persist::Policy policy_;
+  std::unique_ptr<persist::PersistenceDomain> domain_;
+  persist::Policy policy_;  ///< == domain_->policy(), cached.
   StatSet stats_;
   EventQueue events_;
   std::unique_ptr<mem::MemorySystem> mem_;
@@ -87,6 +91,17 @@ class System {
   std::vector<core::Trace> traces_;
   Cycle now_ = 0;
   Cycle stats_epoch_ = 0;  ///< Cycle at the last reset_stats().
+
+  // metrics() sources, resolved once at construction (the PR 2 stat-handle
+  // pattern; components registered all of these in their constructors, so
+  // resolving here creates nothing new). Per-core vectors are indexed by
+  // CoreId.
+  std::vector<CounterHandle> m_retired_, m_txs_, m_ntc_stalls_;
+  std::vector<AccumulatorHandle> m_pload_lat_;
+  std::vector<HistogramHandle> m_pload_hist_;
+  std::vector<CounterHandle> m_ntc_spills_;  ///< One per NTC; empty otherwise.
+  CounterHandle m_llc_hits_, m_llc_misses_, m_llc_wb_dropped_;
+  CounterHandle m_nvm_writes_, m_nvm_reads_, m_dram_writes_;
 };
 
 }  // namespace ntcsim::sim

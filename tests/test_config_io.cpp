@@ -49,9 +49,24 @@ TEST(ConfigIo, BadValueIsAnError) {
   EXPECT_FALSE(apply_config_line("just-some-text", cfg).ok);
 }
 
+TEST(ConfigIo, UnknownMechanismErrorListsTheRegistry) {
+  SystemConfig cfg = SystemConfig::paper();
+  const auto r = apply_config_line("mechanism = maglev", cfg);
+  ASSERT_FALSE(r.ok);
+  // The error is self-serve: it enumerates every registered domain name.
+  EXPECT_NE(r.error.find("known mechanisms"), std::string::npos) << r.error;
+  for (const char* name : {"optimal", "sp", "sp-adr", "tc", "kiln",
+                           "tc-nodrain"}) {
+    EXPECT_NE(r.error.find(name), std::string::npos) << name;
+  }
+}
+
 TEST(ConfigIo, MechanismNamesRoundTrip) {
   SystemConfig cfg = SystemConfig::paper();
-  for (const char* name : {"tc", "sp", "kiln", "optimal"}) {
+  // Includes registry-only extensions: any registered domain must survive
+  // a write_config/apply_config round trip under its canonical name.
+  for (const char* name : {"tc", "sp", "kiln", "optimal", "sp-adr",
+                           "tc-nodrain"}) {
     ASSERT_TRUE(apply_config_line(std::string("mechanism = ") + name, cfg).ok);
     std::ostringstream os;
     write_config(os, cfg);

@@ -48,7 +48,9 @@ class MechTest : public ::testing::TestWithParam<WorkloadKind> {
  protected:
   std::map<Mechanism, Metrics> all() {
     std::map<Mechanism, Metrics> m;
-    for (Mechanism mech : kAllMechanisms) {
+    // Registry-driven: registered extensions (e.g. tc-nodrain) are
+    // exercised here for free and must also commit every transaction.
+    for (Mechanism mech : matrix_mechanisms()) {
       m[mech] = run_small(mech, GetParam());
     }
     return m;
@@ -60,7 +62,7 @@ TEST_P(MechTest, AllMechanismsCommitTheSameTransactions) {
   const auto txs = m.at(Mechanism::kOptimal).committed_txs;
   ASSERT_EQ(txs, small_wl(GetParam()).ops);  // measured phase only
   for (const auto& [mech, metrics] : m) {
-    EXPECT_EQ(metrics.committed_txs, txs) << to_string(mech);
+    EXPECT_EQ(metrics.committed_txs, txs) << mechanism_label(mech);
   }
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "persist/domain.hpp"
 #include "recovery/recovery.hpp"
 #include "sim/config_io.hpp"
 #include "sim/experiment.hpp"
@@ -35,7 +36,10 @@ void usage() {
       "ntcsim — nonvolatile-transaction-cache persistent memory simulator\n"
       "\n"
       "  --workload=NAME      graph | rbtree | sps | btree | hashtable\n"
-      "  --mechanism=NAME     tc | sp | kiln | optimal      (default tc)\n"
+      "  --mechanism=NAME     a registered persistence mechanism (default\n"
+      "                       tc; see --list-mechanisms)\n"
+      "  --list-mechanisms    list every registered persistence mechanism\n"
+      "                       and exit\n"
       "  --preset=NAME        paper | experiment | tiny     (default experiment)\n"
       "  --config=FILE        apply key=value overrides from FILE\n"
       "  --set KEY=VALUE      apply one override (repeatable)\n"
@@ -109,9 +113,26 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       }
     } else if (a.rfind("--mechanism=", 0) == 0) {
       if (!sim::parse_mechanism(value(), cli.mechanism)) {
-        std::fprintf(stderr, "unknown mechanism \"%s\"\n", value().c_str());
+        std::fprintf(
+            stderr, "unknown mechanism \"%s\" (known: %s)\n", value().c_str(),
+            persist::DomainRegistry::instance().known_names().c_str());
         return false;
       }
+    } else if (a == "--list-mechanisms") {
+      for (Mechanism m : persist::DomainRegistry::instance().all()) {
+        const persist::DomainInfo& info =
+            persist::DomainRegistry::instance().info(m);
+        std::string aliases;
+        for (const std::string& alias : info.aliases) {
+          aliases += aliases.empty() ? " (alias " : ", ";
+          aliases += alias;
+        }
+        if (!aliases.empty()) aliases += ")";
+        std::printf("%-12s %-10s %s%s\n", info.name.c_str(),
+                    info.display.c_str(), info.summary.c_str(),
+                    aliases.c_str());
+      }
+      std::exit(0);
     } else if (a.rfind("--preset=", 0) == 0) {
       // handled above
     } else if (a.rfind("--config=", 0) == 0) {
@@ -250,7 +271,7 @@ int run(const Cli& cli) {
   const sim::Metrics m = sys.metrics();
 
   const std::string label = std::string(to_string(cli.workload)) + "/" +
-                            std::string(to_string(cli.mechanism));
+                            std::string(sim::mechanism_label(cli.mechanism));
   if (cli.csv) {
     sim::write_metrics_csv_row(std::cout, label, m, /*header=*/true);
   } else {
