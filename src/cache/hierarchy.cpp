@@ -54,8 +54,21 @@ bool Hierarchy::store(Cycle now, CoreId core, Addr addr, Word value,
   if (persistent && vimage_ != nullptr) {
     vimage_->store(word_of(addr), value);
   }
-  return access(now, core, line_of(addr), /*is_write=*/true, persistent, tx,
-                DoneFn{});
+  const bool ok = access(now, core, line_of(addr), /*is_write=*/true,
+                         persistent, tx, DoneFn{});
+  if (ok && persistent && sink_ != nullptr) {
+    // Tap on acceptance only — a rejected store retries and would
+    // double-count.
+    check::CheckEvent ev;
+    ev.kind = check::EventKind::kStoreDrained;
+    ev.core = core;
+    ev.tx = tx;
+    ev.addr = word_of(addr);
+    ev.value = value;
+    ev.persistent = true;
+    sink_->on_event(ev);
+  }
+  return ok;
 }
 
 bool Hierarchy::access(Cycle now, CoreId core, Addr line, bool is_write,
@@ -175,8 +188,16 @@ bool Hierarchy::access(Cycle now, CoreId core, Addr line, bool is_write,
   // words its transaction wrote, so the fill still needs the NVM line and
   // merges the newer NTC words into it — the round trip is NVM-bound
   // either way; the probe guarantees the LLC never uses stale NVM data.
-  if (persistent && hooks_.ntc_probe && hooks_.ntc_probe(core, line)) {
-    stat_ntc_probe_hits_->inc();
+  if (persistent && hooks_.ntc_probe) {
+    if (sink_ != nullptr) {
+      check::CheckEvent pe;
+      pe.kind = check::EventKind::kNtcProbe;
+      pe.core = core;
+      pe.addr = line;
+      pe.persistent = true;
+      sink_->on_event(pe);
+    }
+    if (hooks_.ntc_probe(core, line)) stat_ntc_probe_hits_->inc();
   }
 
   issue_llc_read(now, lit->second);
@@ -286,6 +307,13 @@ void Hierarchy::handle_llc_eviction(const Eviction& ev) {
     // TC (§3): evicted persistent blocks are *discarded*; the NVM only
     // ever receives the consistent data sent by the transaction cache.
     stat_llc_wb_dropped_->inc();
+    if (sink_ != nullptr) {
+      check::CheckEvent ce;
+      ce.kind = check::EventKind::kLlcWritebackDropped;
+      ce.addr = ev.line_addr;
+      ce.persistent = true;
+      sink_->on_event(ce);
+    }
     return;
   }
   const mem::Source src = ev.persistent && hooks_.llc_nonvolatile

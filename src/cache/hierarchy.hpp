@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/array.hpp"
+#include "check/events.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
 #include "common/stat_handle.hpp"
@@ -92,6 +93,9 @@ class Hierarchy {
   bool quiesced() const;
 
   HierarchyHooks& hooks() { return hooks_; }
+  /// Persistence-order checker tap (null = off): accepted persistent
+  /// stores, NTC probes and dropped persistent write-backs.
+  void set_check_sink(check::CheckSink* sink) { sink_ = sink; }
   const CacheArray& llc() const { return llc_; }
   CacheArray& l1(CoreId core) { return *l1_[core]; }
   CacheArray& l2(CoreId core) { return *l2_[core]; }
@@ -140,6 +144,7 @@ class Hierarchy {
   StatSet* stats_;
   recovery::VolatileImage* vimage_;
   HierarchyHooks hooks_;
+  check::CheckSink* sink_ = nullptr;
 
   std::vector<std::unique_ptr<CacheArray>> l1_;
   std::vector<std::unique_ptr<CacheArray>> l2_;

@@ -1,0 +1,82 @@
+// Tap-point event stream for the online persistence-order checker.
+//
+// Components that touch persistent state (memory system, hierarchy, NTCs,
+// Kiln commit engine, cores) hold a default-null CheckSink* and emit a
+// CheckEvent at each interesting transition. With no sink installed the tap
+// is one null-pointer test — no EventQueue pushes, no stat lookups — so the
+// measured perf path pays nothing (test_regression_metrics.cpp pins this).
+// The checker stamps the cycle itself from the System clock; emitters never
+// pass time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace ntcsim::check {
+
+enum class EventKind : std::uint8_t {
+  kNvmRead,             ///< NVM controller accepted a read (line addr).
+  kNvmWrite,            ///< NVM controller accepted a write (line addr).
+  kNvmDurable,          ///< One payload word became durable (word addr).
+  kLlcWritebackDropped, ///< TC: LLC discarded a persistent write-back.
+  kNtcInsert,           ///< New NTC ring entry (line, tx, seq).
+  kNtcCommit,           ///< NTC commit request CAM-matched `tx`.
+  kNtcDrainIssue,       ///< Committed entry/spill-home issued to NVM.
+  kNtcRelease,          ///< Entry freed by the NVM ack (line no longer held).
+  kNtcProbe,            ///< LLC persistent miss probed the NTCs for `line`.
+  kStoreDrained,        ///< Persistent store reached the hierarchy (word).
+  kTxBegin,             ///< TX_BEGIN retired on `core`.
+  kTxCommitted,         ///< TX_END retired with the domain committed.
+  kKilnCommitStart,     ///< Kiln begin_commit(core, tx).
+  kKilnFlushLine,       ///< Kiln commit flushed `line` into the NV-LLC.
+  kKilnCommitDone,      ///< Kiln commit window for (core, tx) completed.
+};
+
+constexpr const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kNvmRead: return "nvm-read";
+    case EventKind::kNvmWrite: return "nvm-write";
+    case EventKind::kNvmDurable: return "nvm-durable";
+    case EventKind::kLlcWritebackDropped: return "llc-wb-dropped";
+    case EventKind::kNtcInsert: return "ntc-insert";
+    case EventKind::kNtcCommit: return "ntc-commit";
+    case EventKind::kNtcDrainIssue: return "ntc-drain-issue";
+    case EventKind::kNtcRelease: return "ntc-release";
+    case EventKind::kNtcProbe: return "ntc-probe";
+    case EventKind::kStoreDrained: return "store-drained";
+    case EventKind::kTxBegin: return "tx-begin";
+    case EventKind::kTxCommitted: return "tx-committed";
+    case EventKind::kKilnCommitStart: return "kiln-commit-start";
+    case EventKind::kKilnFlushLine: return "kiln-flush-line";
+    case EventKind::kKilnCommitDone: return "kiln-commit-done";
+  }
+  return "?";
+}
+
+struct CheckEvent {
+  EventKind kind = EventKind::kNvmRead;
+  CoreId core = 0;
+  TxId tx = kNoTx;
+  /// Line address for line-granular events; word address for kNvmDurable
+  /// and kStoreDrained.
+  Addr addr = 0;
+  Word value = 0;
+  std::uint64_t seq = 0;  ///< NTC program-order sequence (drain events).
+  mem::Source source = mem::Source::kDemand;
+  bool persistent = false;
+};
+
+/// Implemented by check::PersistOrderChecker; components talk to this
+/// interface only, so no library below sim/ links against ntc_check.
+class CheckSink {
+ public:
+  virtual ~CheckSink() = default;
+  CheckSink() = default;
+  CheckSink(const CheckSink&) = delete;
+  CheckSink& operator=(const CheckSink&) = delete;
+  virtual void on_event(const CheckEvent& ev) = 0;
+};
+
+}  // namespace ntcsim::check

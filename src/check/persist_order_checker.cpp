@@ -1,0 +1,314 @@
+#include "check/persist_order_checker.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "recovery/log_format.hpp"
+
+namespace ntcsim::check {
+
+namespace {
+
+/// Newest-first per-word store history depth. Two is enough to match a
+/// durable payload word against the store that produced it; a little slack
+/// covers repeated same-word writes racing their write-backs.
+constexpr std::size_t kStoreHistoryDepth = 4;
+
+std::string format_event(Cycle cycle, const CheckEvent& ev) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "cycle %" PRIu64 ": %s addr=0x%" PRIx64 " core=%u tx=%u"
+                " seq=%" PRIu64 " source=%s",
+                cycle, to_string(ev.kind), ev.addr, ev.core, ev.tx, ev.seq,
+                mem::to_string(ev.source));
+  return buf;
+}
+
+}  // namespace
+
+PersistOrderChecker::PersistOrderChecker(CheckerRules rules,
+                                         const AddressSpace& space,
+                                         unsigned cores, bool fatal)
+    : rules_(rules), space_(space), fatal_(fatal) {
+  ring_.resize(kRingSize);
+  last_drain_seq_.assign(cores, 0);
+  if (rules_.kiln_flush_complete) {
+    kiln_expected_.resize(cores);
+    kiln_flushed_.resize(cores);
+  }
+}
+
+PersistOrderChecker::Region PersistOrderChecker::classify_(Addr a) const {
+  if (a < space_.nvm_base()) return Region::kDram;
+  if (a >= space_.shadow_base(0)) return Region::kShadow;
+  if (a >= space_.log_base(0)) return Region::kLog;
+  return Region::kHeap;
+}
+
+void PersistOrderChecker::record_(const CheckEvent& ev) {
+  RingEvent& slot = ring_[ring_next_];
+  slot.cycle = now_cycle_();
+  slot.ev = ev;
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  if (ring_filled_ < ring_.size()) ++ring_filled_;
+}
+
+std::vector<std::pair<Cycle, CheckEvent>> PersistOrderChecker::history_for_(
+    Addr line) const {
+  // Scan backwards (newest first), collect, then flip to oldest-first.
+  std::vector<std::pair<Cycle, CheckEvent>> out;
+  std::size_t i = ring_next_;
+  for (std::size_t n = 0; n < ring_filled_; ++n) {
+    i = (i + ring_.size() - 1) % ring_.size();
+    const RingEvent& r = ring_[i];
+    if (line_of(r.ev.addr) != line) continue;
+    out.emplace_back(r.cycle, r.ev);
+    if (out.size() >= kHistoryPerViolation) break;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void PersistOrderChecker::violate_(Rule rule, const CheckEvent& ev,
+                                   std::string message) {
+  ++violation_count_;
+  Violation v;
+  v.rule = rule;
+  v.cycle = now_cycle_();
+  v.line = line_of(ev.addr);
+  v.tx = ev.tx;
+  v.core = ev.core;
+  v.message = std::move(message);
+  v.history = history_for_(v.line);
+  if (fatal_) {
+    std::fprintf(stderr,
+                 "persistence-order violation [%s] cycle %" PRIu64
+                 " line 0x%" PRIx64 " core %u tx %u\n  %s\n",
+                 rule_id(v.rule), v.cycle, v.line, v.core, v.tx,
+                 v.message.c_str());
+    for (const auto& [cycle, hev] : v.history) {
+      std::fprintf(stderr, "    %s\n", format_event(cycle, hev).c_str());
+    }
+    NTC_CHECK_MSG(false, "persistence-order checker tripped rule %s",
+                  rule_id(v.rule));
+  }
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(std::move(v));
+  }
+}
+
+void PersistOrderChecker::on_nvm_write_(const CheckEvent& ev) {
+  if (!rules_.single_writer && !rules_.no_uncommitted) return;
+  if (classify_(ev.addr) != Region::kHeap || !ev.persistent) return;
+  if (rules_.single_writer &&
+      (rules_.allowed_heap_sources & source_bit(ev.source)) == 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "persistent heap line written to NVM by source \"%s\""
+                  " outside the mechanism's sanctioned path",
+                  mem::to_string(ev.source));
+    violate_(Rule::kSingleWriter, ev, buf);
+  }
+  if (rules_.no_uncommitted && ev.source == mem::Source::kTxCache &&
+      ev.tx != kNoTx && committed_tx_.count(ev.tx) == 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "NTC drained tx %u to NVM before the core committed it",
+                  ev.tx);
+    violate_(Rule::kUncommittedDrain, ev, buf);
+  }
+}
+
+void PersistOrderChecker::on_nvm_read_(const CheckEvent& ev) {
+  if (!rules_.no_stale_read) return;
+  const auto held = held_.find(ev.addr);
+  const bool is_held = held != held_.end() && held->second > 0;
+  const auto credit = probe_credits_.find(ev.addr);
+  const bool has_credit = credit != probe_credits_.end() && credit->second > 0;
+  if (is_held && !has_credit) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "NVM read of a line the NTC holds newer data for,"
+                  " without an NTC probe");
+    violate_(Rule::kNoStaleRead, ev, buf);
+  }
+  if (has_credit) {
+    if (--credit->second == 0) probe_credits_.erase(credit);
+  }
+}
+
+void PersistOrderChecker::on_log_word_durable_(Addr word, Word value) {
+  log_words_[word] = value;
+  // A log record is two 8-byte words at a 16-aligned base: [target | value]
+  // (recovery/log_format.hpp). Once both halves are durable the record is
+  // complete; commit markers carry no target and are skipped.
+  const Addr base = word & ~static_cast<Addr>(0xF);
+  const auto lo = log_words_.find(base);
+  const auto hi = log_words_.find(base + 8);
+  if (lo == log_words_.end() || hi == log_words_.end()) return;
+  const Word target = lo->second;
+  if (recovery::is_commit_marker(target)) return;
+  durable_records_[static_cast<Addr>(target)].insert(hi->second);
+}
+
+void PersistOrderChecker::on_nvm_durable_(const CheckEvent& ev) {
+  if (!rules_.log_before_data) return;
+  switch (classify_(ev.addr)) {
+    case Region::kLog:
+      on_log_word_durable_(ev.addr, ev.value);
+      break;
+    case Region::kHeap: {
+      // Match the durable word against the store that produced it; only
+      // transactional stores carry the WAL obligation.
+      const auto hist = store_hist_.find(ev.addr);
+      if (hist == store_hist_.end()) break;
+      TxId tx = kNoTx;
+      bool matched = false;
+      for (const auto& [htx, hvalue] : hist->second) {
+        if (hvalue == ev.value) {
+          tx = htx;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched || tx == kNoTx) break;
+      const auto rec = durable_records_.find(ev.addr);
+      if (rec == durable_records_.end() || rec->second.count(ev.value) == 0) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "tx %u data word 0x%" PRIx64
+                      " became durable before its log record",
+                      tx, ev.addr);
+        CheckEvent attributed = ev;
+        attributed.tx = tx;
+        violate_(Rule::kLogBeforeData, attributed, buf);
+      }
+      break;
+    }
+    case Region::kDram:
+    case Region::kShadow:
+      break;
+  }
+}
+
+void PersistOrderChecker::on_store_drained_(const CheckEvent& ev) {
+  if (rules_.log_before_data && ev.tx != kNoTx &&
+      classify_(ev.addr) == Region::kHeap) {
+    auto& hist = store_hist_[ev.addr];
+    hist.insert(hist.begin(), {ev.tx, ev.value});
+    if (hist.size() > kStoreHistoryDepth) hist.resize(kStoreHistoryDepth);
+  }
+  if (rules_.kiln_flush_complete && ev.tx != kNoTx &&
+      ev.core < kiln_expected_.size()) {
+    kiln_expected_[ev.core][ev.tx].insert(line_of(ev.addr));
+  }
+}
+
+void PersistOrderChecker::on_drain_issue_(const CheckEvent& ev) {
+  if (!rules_.fifo_drain || ev.core >= last_drain_seq_.size()) return;
+  std::uint64_t& last = last_drain_seq_[ev.core];
+  if (ev.seq <= last) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "NTC drain issued seq %" PRIu64 " after seq %" PRIu64
+                  " — committed lines must leave in FIFO order",
+                  ev.seq, last);
+    violate_(Rule::kFifoDrain, ev, buf);
+  }
+  last = std::max(last, ev.seq);
+}
+
+void PersistOrderChecker::on_event(const CheckEvent& ev) {
+  record_(ev);
+  switch (ev.kind) {
+    case EventKind::kNvmWrite:
+      on_nvm_write_(ev);
+      break;
+    case EventKind::kNvmRead:
+      on_nvm_read_(ev);
+      break;
+    case EventKind::kNvmDurable:
+      on_nvm_durable_(ev);
+      break;
+    case EventKind::kStoreDrained:
+      on_store_drained_(ev);
+      break;
+    case EventKind::kNtcInsert:
+      if (rules_.no_stale_read) ++held_[ev.addr];
+      break;
+    case EventKind::kNtcRelease:
+      if (rules_.no_stale_read) {
+        const auto it = held_.find(ev.addr);
+        if (it != held_.end() && --it->second == 0) held_.erase(it);
+      }
+      break;
+    case EventKind::kNtcProbe:
+      if (rules_.no_stale_read) ++probe_credits_[ev.addr];
+      break;
+    case EventKind::kNtcDrainIssue:
+      on_drain_issue_(ev);
+      break;
+    case EventKind::kTxCommitted:
+      if (rules_.no_uncommitted) committed_tx_.insert(ev.tx);
+      break;
+    case EventKind::kKilnCommitStart:
+      if (rules_.kiln_flush_complete && ev.core < kiln_flushed_.size()) {
+        kiln_flushed_[ev.core].clear();
+      }
+      break;
+    case EventKind::kKilnFlushLine:
+      if (rules_.kiln_flush_complete && ev.core < kiln_flushed_.size()) {
+        kiln_flushed_[ev.core].insert(ev.addr);
+      }
+      break;
+    case EventKind::kKilnCommitDone:
+      if (rules_.kiln_flush_complete && ev.core < kiln_flushed_.size()) {
+        auto& expected = kiln_expected_[ev.core];
+        const auto it = expected.find(ev.tx);
+        if (it != expected.end()) {
+          for (Addr line : it->second) {
+            if (kiln_flushed_[ev.core].count(line) == 0) {
+              char buf[128];
+              std::snprintf(buf, sizeof buf,
+                            "tx %u committed without flushing line 0x%" PRIx64
+                            " into the NV-LLC",
+                            ev.tx, line);
+              CheckEvent attributed = ev;
+              attributed.addr = line;
+              violate_(Rule::kKilnFlushComplete, attributed, buf);
+            }
+          }
+          expected.erase(it);
+        }
+      }
+      break;
+    case EventKind::kLlcWritebackDropped:
+    case EventKind::kNtcCommit:
+    case EventKind::kTxBegin:
+      break;  // context-only events (ring buffer)
+  }
+}
+
+void PersistOrderChecker::report(std::FILE* out) const {
+  if (violation_count_ == 0) {
+    std::fprintf(out, "persist-order check: 0 violations\n");
+    return;
+  }
+  std::fprintf(out,
+               "persist-order check: %" PRIu64 " violation(s), showing %zu\n",
+               violation_count_, violations_.size());
+  for (const Violation& v : violations_) {
+    std::fprintf(out,
+                 "  [%s] cycle %" PRIu64 " line 0x%" PRIx64
+                 " core %u tx %u\n    %s\n",
+                 rule_id(v.rule), v.cycle, v.line, v.core, v.tx,
+                 v.message.c_str());
+    for (const auto& [cycle, ev] : v.history) {
+      std::fprintf(out, "      %s\n", format_event(cycle, ev).c_str());
+    }
+  }
+}
+
+}  // namespace ntcsim::check

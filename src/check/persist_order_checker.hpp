@@ -1,0 +1,121 @@
+// Online crash-consistency checker: a persistence-ordering race detector
+// over the simulated traffic streams.
+//
+// recovery::check_atomicity validates the final image post-hoc; a mid-run
+// ordering bug that happens to land on a consistent final image (the
+// classic persistency-model failure mode) slips through it while still
+// skewing every timing number. This checker watches the streams as they
+// happen: NVM reads/writes and per-word durability at the memory system,
+// LLC write-back drops, NTC inserts/commits/drains/probes, Kiln commit
+// windows, and core TX_BEGIN/TX_END retires. Which invariants apply is the
+// mechanism's own declaration (PersistenceDomain::checker_rules()).
+//
+// Violations are collected (bounded) with a structured record — rule id,
+// cycle, line address, TxID, and the last three events touching that line
+// from a bounded ring buffer — or abort the run in fatal mode.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/events.hpp"
+#include "check/rules.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace ntcsim::check {
+
+struct Violation {
+  Rule rule = Rule::kSingleWriter;
+  Cycle cycle = 0;
+  Addr line = 0;
+  TxId tx = kNoTx;
+  CoreId core = 0;
+  std::string message;
+  /// Last events touching `line` before the violation, oldest first
+  /// (at most kHistoryPerViolation, from the bounded ring buffer).
+  std::vector<std::pair<Cycle, CheckEvent>> history;
+};
+
+class PersistOrderChecker final : public CheckSink {
+ public:
+  static constexpr std::size_t kRingSize = 1024;
+  static constexpr std::size_t kHistoryPerViolation = 3;
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+  PersistOrderChecker(CheckerRules rules, const AddressSpace& space,
+                      unsigned cores, bool fatal);
+
+  /// The checker stamps cycles itself; point it at the System clock.
+  void set_clock(const Cycle* now) { now_ = now; }
+
+  void on_event(const CheckEvent& ev) override;
+
+  std::uint64_t violation_count() const { return violation_count_; }
+  /// Stored violations (capped at kMaxStoredViolations; the count above is
+  /// exact regardless).
+  const std::vector<Violation>& violations() const { return violations_; }
+  const CheckerRules& rules() const { return rules_; }
+
+  /// Human-readable report of every stored violation.
+  void report(std::FILE* out) const;
+
+ private:
+  enum class Region : std::uint8_t { kDram, kHeap, kLog, kShadow };
+  Region classify_(Addr a) const;
+  Cycle now_cycle_() const { return now_ != nullptr ? *now_ : 0; }
+
+  void record_(const CheckEvent& ev);
+  void violate_(Rule rule, const CheckEvent& ev, std::string message);
+  std::vector<std::pair<Cycle, CheckEvent>> history_for_(Addr line) const;
+
+  void on_nvm_write_(const CheckEvent& ev);
+  void on_nvm_read_(const CheckEvent& ev);
+  void on_nvm_durable_(const CheckEvent& ev);
+  void on_store_drained_(const CheckEvent& ev);
+  void on_drain_issue_(const CheckEvent& ev);
+  void on_log_word_durable_(Addr word, Word value);
+
+  CheckerRules rules_;
+  AddressSpace space_;
+  bool fatal_ = false;
+  const Cycle* now_ = nullptr;
+
+  // Bounded event ring (violation context only).
+  struct RingEvent {
+    Cycle cycle = 0;
+    CheckEvent ev;
+  };
+  std::vector<RingEvent> ring_;
+  std::size_t ring_next_ = 0;
+  std::size_t ring_filled_ = 0;
+
+  // fifo-drain: last drained sequence number per core.
+  std::vector<std::uint64_t> last_drain_seq_;
+  // no-stale-read: lines the NTCs hold (insert minus release counts) and
+  // outstanding probe credits (one probe per LLC miss, consumed by the
+  // miss's NVM read).
+  std::unordered_map<Addr, unsigned> held_;
+  std::unordered_map<Addr, unsigned> probe_credits_;
+  // uncommitted-drain: transactions the cores have committed.
+  std::unordered_set<TxId> committed_tx_;
+  // log-before-data: newest-first history of transactional stores per word
+  // (capped), durable log words, and completed (target, value) records.
+  std::unordered_map<Addr, std::vector<std::pair<TxId, Word>>> store_hist_;
+  std::unordered_map<Addr, Word> log_words_;
+  std::unordered_map<Addr, std::unordered_set<Word>> durable_records_;
+  // kiln-flush-complete: per-core expected line set per transaction and the
+  // lines flushed inside the open commit window.
+  std::vector<std::unordered_map<TxId, std::unordered_set<Addr>>>
+      kiln_expected_;
+  std::vector<std::unordered_set<Addr>> kiln_flushed_;
+
+  std::uint64_t violation_count_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace ntcsim::check

@@ -1,0 +1,66 @@
+// Per-mechanism invariant specification for the persistence-order checker.
+//
+// Each persist::PersistenceDomain declares which ordering invariants its
+// mechanism promises (checker_rules()); the checker enforces exactly those.
+// A mechanism that promises nothing (Optimal) runs with every rule off and
+// the checker is a pure event recorder.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/request.hpp"
+
+namespace ntcsim::check {
+
+enum class Rule : std::uint8_t {
+  kSingleWriter,      ///< Heap NVM writes only from the sanctioned source.
+  kFifoDrain,         ///< NTC drains leave in per-core seq (program) order.
+  kNoStaleRead,       ///< NVM read of an NTC-held line without a probe.
+  kUncommittedDrain,  ///< NTC drained a line whose tx never committed.
+  kLogBeforeData,     ///< SP: data durable before its log record.
+  kKilnFlushComplete, ///< Kiln: commit finished with unflushed tx lines.
+};
+
+constexpr const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::kSingleWriter: return "tc.single-writer";
+    case Rule::kFifoDrain: return "tc.fifo-drain";
+    case Rule::kNoStaleRead: return "tc.no-stale-read";
+    case Rule::kUncommittedDrain: return "tc.uncommitted-drain";
+    case Rule::kLogBeforeData: return "sp.log-before-data";
+    case Rule::kKilnFlushComplete: return "kiln.flush-incomplete";
+  }
+  return "?";
+}
+
+constexpr std::uint8_t source_bit(mem::Source s) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(s));
+}
+
+struct CheckerRules {
+  /// Persistent-heap NVM writes must come from a source in
+  /// `allowed_heap_sources` (TC: the NTC drain path only, §3).
+  bool single_writer = false;
+  std::uint8_t allowed_heap_sources = 0;  ///< source_bit() mask.
+  /// Committed NTC entries reach the NVM in strictly increasing per-core
+  /// sequence order (§4.1 FIFO write-order control).
+  bool fifo_drain = false;
+  /// An NVM read of a line the NTC still holds must have been preceded by
+  /// an NTC probe for that miss (the LLC never uses stale NVM data, §3).
+  bool no_stale_read = false;
+  /// The NTC only drains lines of committed transactions.
+  bool no_uncommitted = false;
+  /// SP WAL ordering: a transactional heap word may become durable only
+  /// after its (address, value) log record is durable.
+  bool log_before_data = false;
+  /// Kiln: every line the transaction dirtied is flushed into the NV-LLC
+  /// by the time its commit window closes (§5.2 flush-set completeness).
+  bool kiln_flush_complete = false;
+
+  bool any() const {
+    return single_writer || fifo_drain || no_stale_read || no_uncommitted ||
+           log_before_data || kiln_flush_complete;
+  }
+};
+
+}  // namespace ntcsim::check

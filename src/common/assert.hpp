@@ -10,7 +10,23 @@
   do {                                                                      \
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "ntcsim invariant failed: %s\n  at %s:%d: %s\n", \
-                   msg, __FILE__, __LINE__, #cond);                         \
+                   (msg), __FILE__, __LINE__, #cond);                       \
       std::abort();                                                         \
     }                                                                       \
+  } while (false)
+
+// NTC_ASSERT with printf-style context (cycle, address, TxID, ...), so an
+// abort message is actionable instead of a bare condition string:
+//   NTC_CHECK_MSG(in_flight_ > 0, "ack underflow on %s at cycle %llu",
+//                 name_.c_str(), (unsigned long long)now);
+// Like NTC_ASSERT, stays on in release builds.
+#define NTC_CHECK_MSG(cond, ...)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "ntcsim invariant failed: ");             \
+      std::fprintf(stderr, __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n  at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                           \
+      std::abort();                                                  \
+    }                                                                \
   } while (false)

@@ -74,6 +74,11 @@ SystemConfig SystemConfig::tiny() {
   c.nvm.banks_per_rank = 2;
   c.dram.ranks = 1;
   c.dram.banks_per_rank = 2;
+  // Unit tests always run under the persistence-order checker: a perf PR
+  // that silently reorders drains or leaks an uncommitted line fails fast
+  // here rather than skewing figures. The checker only observes, so golden
+  // numbers are unchanged; measured presets (paper/experiment) stay off.
+  c.check = CheckMode::kFatal;
   return c;
 }
 

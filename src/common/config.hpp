@@ -122,6 +122,22 @@ struct MemCtrlConfig {
   DeviceTiming timing;
 };
 
+/// Activation mode of the online persistence-order checker (src/check/).
+enum class CheckMode : std::uint8_t {
+  kOff,      ///< No taps installed; zero per-access cost.
+  kCollect,  ///< Record violations, report at the end of the run.
+  kFatal,    ///< Abort at the first violation (NTC_ASSERT-style).
+};
+
+constexpr std::string_view to_string(CheckMode m) {
+  switch (m) {
+    case CheckMode::kOff: return "off";
+    case CheckMode::kCollect: return "collect";
+    case CheckMode::kFatal: return "fatal";
+  }
+  return "?";
+}
+
 struct SystemConfig {
   unsigned cores = 4;
   double ghz = 2.0;
@@ -138,6 +154,16 @@ struct SystemConfig {
   /// Record functional values and transaction journals so that crash
   /// recovery can be simulated and checked (costs some simulation speed).
   bool track_recovery_state = true;
+
+  /// Online persistence-order checker. Debug builds check fatally by
+  /// default; release builds (the measured perf path) keep it off — the
+  /// tiny() test preset and `ntcsim --check` / NTCSIM_CHECK opt in
+  /// explicitly.
+#ifndef NDEBUG
+  CheckMode check = CheckMode::kFatal;
+#else
+  CheckMode check = CheckMode::kOff;
+#endif
 
   /// Table 2 configuration verbatim.
   static SystemConfig paper();

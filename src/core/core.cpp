@@ -235,6 +235,13 @@ bool Core::retire_one_(Cycle now) {
       mode_reg_ = static_cast<TxId>(e.op.value);
       next_tx_reg_ = mode_reg_ + 1;
       domain_->on_tx_begin(id_, mode_reg_);
+      if (sink_ != nullptr) {
+        check::CheckEvent ce;
+        ce.kind = check::EventKind::kTxBegin;
+        ce.core = id_;
+        ce.tx = mode_reg_;
+        sink_->on_event(ce);
+      }
       break;
     }
 
@@ -249,6 +256,13 @@ bool Core::retire_one_(Cycle now) {
           return false;
         case TxEndResult::kCommitted:
           break;
+      }
+      if (sink_ != nullptr) {
+        check::CheckEvent ce;
+        ce.kind = check::EventKind::kTxCommitted;
+        ce.core = id_;
+        ce.tx = mode_reg_;
+        sink_->on_event(ce);
       }
       mode_reg_ = kNoTx;
       ++committed_txs_;

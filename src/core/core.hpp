@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cache/hierarchy.hpp"
+#include "check/events.hpp"
 #include "mem/request.hpp"
 #include "common/config.hpp"
 #include "common/stat_handle.hpp"
@@ -38,6 +39,10 @@ class Core {
   std::uint64_t committed_txs() const { return committed_txs_; }
   CoreId id() const { return id_; }
   TxId current_tx() const { return mode_reg_; }
+
+  /// Persistence-order checker tap (null = off): TX_BEGIN / committed
+  /// TX_END retires.
+  void set_check_sink(check::CheckSink* sink) { sink_ = sink; }
 
  private:
   // Deques never relocate surviving elements, so the hierarchy's fill
@@ -94,6 +99,7 @@ class Core {
   PersistCoreTraits traits_;  ///< domain_->core_traits(), cached once.
   cache::Hierarchy* hier_;
   StatSet* stats_;
+  check::CheckSink* sink_ = nullptr;
   std::string prefix_;
 
   const Trace* trace_ = nullptr;

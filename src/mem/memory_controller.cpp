@@ -1,6 +1,7 @@
 #include "mem/memory_controller.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <memory>
 #include <utility>
 
@@ -43,6 +44,10 @@ MemoryController::MemoryController(std::string name, const MemCtrlConfig& cfg,
 }
 
 bool MemoryController::enqueue(MemRequest req, Cycle now) {
+  NTC_CHECK_MSG(line_of(req.line_addr) == req.line_addr,
+                "%s: unaligned request address 0x%" PRIx64
+                " (controllers operate on whole cache lines)",
+                name_.c_str(), req.line_addr);
   if (req.op == MemOp::kRead) {
     if (read_queue_full()) return false;
     // Forward from the write queue: a read of a line with a pending write is
@@ -206,6 +211,10 @@ void MemoryController::issue(Pending p, Cycle now) {
   ++in_flight_;
   auto done_req = std::make_shared<MemRequest>(std::move(p.req));
   events_->schedule_at(completion + cfg_.bus_latency, [this, done_req] {
+    NTC_CHECK_MSG(in_flight_ > 0,
+                  "%s: completion for line 0x%" PRIx64
+                  " with no request in flight",
+                  name_.c_str(), done_req->line_addr);
     --in_flight_;
     if (done_req->on_complete) done_req->on_complete(*done_req);
   });

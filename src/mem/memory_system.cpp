@@ -15,29 +15,78 @@ MemorySystem::MemorySystem(const SystemConfig& cfg, EventQueue& events,
   }
 }
 
+namespace {
+
+/// Checker tap: one durability event per payload word, fired at this
+/// request's durability point (array completion, or queue acceptance on an
+/// ADR platform).
+void emit_durable_words(check::CheckSink* sink, const MemRequest& req) {
+  check::CheckEvent ev;
+  ev.kind = check::EventKind::kNvmDurable;
+  ev.core = req.core;
+  ev.tx = req.tx;
+  ev.source = req.source;
+  ev.persistent = req.persistent;
+  for (const auto& [word, value] : req.payload) {
+    ev.addr = word;
+    ev.value = value;
+    sink->on_event(ev);
+  }
+}
+
+}  // namespace
+
 bool MemorySystem::enqueue(MemRequest req, Cycle now) {
   if (!is_nvm(req.line_addr)) {
     return dram_.enqueue(std::move(req), now);
   }
-  if (req.op == MemOp::kWrite && observer_ != nullptr) {
+  if (req.op == MemOp::kWrite &&
+      (observer_ != nullptr || sink_ != nullptr)) {
     if (adr_domain_) {
       // ADR: acceptance into the (power-fail protected) write queue is the
       // durability point.
       const bool ok = route_nvm_(req.line_addr).enqueue(req, now);
-      if (ok) observer_->on_nvm_write(req);
+      if (ok) {
+        if (observer_ != nullptr) observer_->on_nvm_write(req);
+        if (sink_ != nullptr) {
+          check::CheckEvent ev;
+          ev.kind = check::EventKind::kNvmWrite;
+          ev.addr = req.line_addr;
+          ev.core = req.core;
+          ev.tx = req.tx;
+          ev.source = req.source;
+          ev.persistent = req.persistent;
+          sink_->on_event(ev);
+          emit_durable_words(sink_, req);
+        }
+      }
       return ok;
     }
     // The durable image changes at the instant the array write completes —
     // exactly the point after which a crash can no longer lose this write.
     auto upstream = std::move(req.on_complete);
     NvmWriteObserver* obs = observer_;
-    req.on_complete = [obs, upstream](const MemRequest& done) {
-      obs->on_nvm_write(done);
+    check::CheckSink* sink = sink_;
+    req.on_complete = [obs, sink, upstream](const MemRequest& done) {
+      if (obs != nullptr) obs->on_nvm_write(done);
+      if (sink != nullptr) emit_durable_words(sink, done);
       if (upstream) upstream(done);
     };
   }
+  check::CheckEvent ev;
+  if (sink_ != nullptr) {
+    ev.kind = req.op == MemOp::kWrite ? check::EventKind::kNvmWrite
+                                      : check::EventKind::kNvmRead;
+    ev.addr = req.line_addr;
+    ev.core = req.core;
+    ev.tx = req.tx;
+    ev.source = req.source;
+    ev.persistent = req.persistent;
+  }
   const Addr line = req.line_addr;
-  return route_nvm_(line).enqueue(std::move(req), now);
+  const bool ok = route_nvm_(line).enqueue(std::move(req), now);
+  if (ok && sink_ != nullptr) sink_->on_event(ev);
+  return ok;
 }
 
 bool MemorySystem::write_queue_full(Addr line_addr) const {

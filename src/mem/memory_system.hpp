@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/events.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
 #include "common/stats.hpp"
@@ -46,6 +47,9 @@ class MemorySystem {
   void tick(Cycle now);
 
   void set_nvm_observer(NvmWriteObserver* obs) { observer_ = obs; }
+  /// Persistence-order checker tap (null = off; see check/events.hpp).
+  /// Emits accepted NVM reads/writes and per-word durability events.
+  void set_check_sink(check::CheckSink* sink) { sink_ = sink; }
   /// ADR persistence domain: a persistent write becomes durable the moment
   /// the controller accepts it (the write queue is power-fail protected),
   /// not when the array write completes.
@@ -74,6 +78,7 @@ class MemorySystem {
   MemoryController dram_;
   std::vector<std::unique_ptr<MemoryController>> nvm_channels_;
   NvmWriteObserver* observer_ = nullptr;
+  check::CheckSink* sink_ = nullptr;
   bool adr_domain_ = false;
 };
 

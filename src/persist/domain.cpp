@@ -41,6 +41,16 @@ class SpDomain : public PersistenceDomain {
  public:
   explicit SpDomain(Policy p) : PersistenceDomain(p) {}
   std::string_view name() const override { return "sp"; }
+
+  check::CheckerRules checker_rules() const override {
+    check::CheckerRules r;
+    // Fig. 2b ordering: a transactional data word may become durable only
+    // after its (address, value) log record is durable. The System masks
+    // this when running the deliberate sp_ordered=false negative control.
+    r.log_before_data = true;
+    return r;
+  }
+
   recovery::WordImage recover(
       const recovery::DurableState& durable) const override {
     return recovery::recover_sp(durable, wiring().cfg->address_space,
@@ -76,6 +86,22 @@ class TcDomain final : public PersistenceDomain {
  public:
   TcDomain() : PersistenceDomain(make_policy()) {}
   std::string_view name() const override { return "tc"; }
+
+  check::CheckerRules checker_rules() const override { return tc_rules(); }
+
+  /// Shared with tc-nodrain (identical data path): the NTC drain is the
+  /// only writer of persistent heap data, drains leave in per-core FIFO
+  /// order, only committed transactions drain, and a persistent NVM read
+  /// of an NTC-held line must have probed the NTC.
+  static check::CheckerRules tc_rules() {
+    check::CheckerRules r;
+    r.single_writer = true;
+    r.allowed_heap_sources = check::source_bit(mem::Source::kTxCache);
+    r.fifo_drain = true;
+    r.no_stale_read = true;
+    r.no_uncommitted = true;
+    return r;
+  }
 
   void bind(const DomainWiring& wiring) override {
     NTC_ASSERT(!wiring.ntcs.empty(),
@@ -161,6 +187,12 @@ class KilnDomain final : public PersistenceDomain {
   KilnDomain() : PersistenceDomain(make_policy()) {}
   std::string_view name() const override { return "kiln"; }
 
+  check::CheckerRules checker_rules() const override {
+    check::CheckerRules r;
+    r.kiln_flush_complete = true;
+    return r;
+  }
+
   void bind(const DomainWiring& wiring) override {
     NTC_ASSERT(wiring.engine != nullptr,
                "Kiln mechanism requires a commit engine");
@@ -232,7 +264,11 @@ class KilnDomain final : public PersistenceDomain {
 // Registry.
 
 const DomainRegistry& DomainRegistry::instance() {
-  static const DomainRegistry registry = [] {
+  return instance_for_registration();
+}
+
+DomainRegistry& DomainRegistry::instance_for_registration() {
+  static DomainRegistry registry = [] {
     DomainRegistry r;
     // Built-in ids are the enum constants; matrix_rank is the paper's
     // figure column order (SP, TC, Kiln, Optimal).

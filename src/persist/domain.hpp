@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "check/rules.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -41,6 +42,8 @@ class TxCache;
 }
 
 namespace ntcsim::persist {
+
+struct SpOptions;  // sp_transform.hpp
 
 /// Everything a domain may bind to, handed over by the System after it has
 /// built the generic machinery the domain's Policy asked for. Pointers are
@@ -64,6 +67,17 @@ class PersistenceDomain : public core::PersistHooks {
 
   /// What this mechanism changes, as data (see policy.hpp).
   const Policy& policy() const { return policy_; }
+
+  /// The persistence-ordering invariants this mechanism promises, enforced
+  /// online by check::PersistOrderChecker when --check is on. The default
+  /// promises nothing (Optimal); each mechanism states its own rules —
+  /// see check/rules.hpp for the catalogue.
+  virtual check::CheckerRules checker_rules() const { return {}; }
+
+  /// Called by the System before applying the SP trace transform (only for
+  /// software_logging domains). Lets a domain variant tweak SpOptions —
+  /// the checker's mutation tests use it to seed broken orderings.
+  virtual void adjust_sp_options(SpOptions& opts) const { (void)opts; }
 
   /// Attach to the machinery the System built from the Policy flags.
   /// Called exactly once, before any core runs.
@@ -111,6 +125,11 @@ class DomainRegistry {
  public:
   DomainRegistry();  ///< Starts empty (for tests).
   static const DomainRegistry& instance();
+  /// Mutable view of the process-wide registry, for registering extra
+  /// domains at startup (the checker's mutation tests seed deliberately
+  /// broken variants with matrix_rank = -1 so --matrix never sees them).
+  /// Must only be called before concurrent sweeps start reading.
+  static DomainRegistry& instance_for_registration();
 
   /// Register a domain. Dynamic entries (info.id unset) are assigned the
   /// next free id. Returns the registered id. Names and aliases must be

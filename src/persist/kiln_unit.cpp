@@ -57,9 +57,29 @@ void KilnUnit::begin_commit(Cycle now, CoreId core, TxId tx) {
   // The commit flush occupies the LLC: other requests wait it out (§5.2).
   hier_->block_llc_until(now + duration);
 
-  events_->schedule_at(now + duration, [this, core] {
+  if (sink_ != nullptr) {
+    check::CheckEvent ce;
+    ce.kind = check::EventKind::kKilnCommitStart;
+    ce.core = core;
+    ce.tx = tx;
+    ce.persistent = true;
+    sink_->on_event(ce);
+  }
+
+  events_->schedule_at(now + duration, [this, core, tx] {
     PerCore& sc = state_[core];
+    bool skip = false;
     for (Addr line : sc.committing_lines) {
+      if (lossy_flush_mutant_ && (skip = !skip)) continue;
+      if (sink_ != nullptr) {
+        check::CheckEvent ce;
+        ce.kind = check::EventKind::kKilnFlushLine;
+        ce.core = core;
+        ce.tx = tx;
+        ce.addr = line;
+        ce.persistent = true;
+        sink_->on_event(ce);
+      }
       if (hier_->kiln_commit_line(core, line)) {
         // Queue the NVM clean-back; until it completes the block stays
         // pinned. A clean already in flight for the line covers this
@@ -73,6 +93,14 @@ void KilnUnit::begin_commit(Cycle now, CoreId core, TxId tx) {
       // Durability point: every line of the transaction is now in the
       // nonvolatile LLC with its committed flag set.
       durable_->apply_kiln_commit(sc.committing_writes);
+    }
+    if (sink_ != nullptr) {
+      check::CheckEvent ce;
+      ce.kind = check::EventKind::kKilnCommitDone;
+      ce.core = core;
+      ce.tx = tx;
+      ce.persistent = true;
+      sink_->on_event(ce);
     }
     sc.committing_writes.clear();
     sc.committing_lines.clear();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "check/events.hpp"
 #include "common/event_queue.hpp"
 #include "mem/memory_system.hpp"
 #include "common/stat_handle.hpp"
@@ -53,6 +54,15 @@ class KilnUnit final : public core::CommitEngine {
   /// Hierarchy hook: should a freshly filled persistent LLC line be pinned?
   TxId pin_query(CoreId core, Addr line_addr) const;
 
+  /// Persistence-order checker tap (null = off): commit window open/flush
+  /// lines/close.
+  void set_check_sink(check::CheckSink* sink) { sink_ = sink; }
+
+  /// Test seam (mutation testing of the checker): drop every other line
+  /// from the commit flush set, so commits complete with dirty transaction
+  /// lines left un-flushed. Never set outside tests.
+  void set_lossy_flush_mutant(bool on) { lossy_flush_mutant_ = on; }
+
  private:
   struct PerCore {
     TxId open_tx = kNoTx;
@@ -70,6 +80,8 @@ class KilnUnit final : public core::CommitEngine {
   cache::Hierarchy* hier_;
   EventQueue* events_;
   recovery::DurableState* durable_;
+  check::CheckSink* sink_ = nullptr;
+  bool lossy_flush_mutant_ = false;
   std::vector<PerCore> state_;
   std::deque<std::pair<Addr, Cycle>> clean_q_;  ///< (line, enqueue cycle)
   std::unordered_set<Addr> clean_pending_;

@@ -40,7 +40,13 @@ core::Trace transform_sp(const core::Trace& in, CoreId core,
         break;
 
       case OpKind::kStore:
-        if (in_tx && op.persistent) {
+        if (in_tx && op.persistent && opts.data_first) {
+          // Broken-on-purpose mutant (checker validation): the data store
+          // executes in place; its log record is emitted at TX_END, *after*
+          // the data has been forced durable.
+          out.push(op);
+          deferred_stores.push_back(op);
+        } else if (in_tx && op.persistent) {
           // Log records stream through non-temporal stores (movnt), the
           // idiom real WAL implementations use: no cache pollution, the
           // write-combining buffer coalesces a 64 B line per flush.
@@ -64,7 +70,31 @@ core::Trace transform_sp(const core::Trace& in, CoreId core,
       case OpKind::kTxEnd: {
         NTC_ASSERT(in_tx, "SP transform: TX_END without TX_BEGIN");
         in_tx = false;
-        if (!deferred_stores.empty()) {
+        if (opts.data_first && !deferred_stores.empty()) {
+          // Inverted WAL: force the data durable first (FlushKind::kLog
+          // makes the pcommit wait on the data flushes), then write the
+          // log. The persistence-order checker must flag every data word.
+          std::vector<Addr> data_lines;
+          for (const MicroOp& st : deferred_stores) {
+            bool seen = false;
+            for (Addr l : data_lines) seen = seen || l == line_of(st.addr);
+            if (!seen) data_lines.push_back(line_of(st.addr));
+          }
+          for (Addr l : data_lines) out.push(MicroOp::clwb(l, FlushKind::kLog));
+          out.push(MicroOp::sfence());
+          if (!opts.adr) out.push(MicroOp::pcommit());
+          for (const MicroOp& st : deferred_stores) {
+            const Addr rec = cursor.next_record();
+            out.push(MicroOp::ntstore(rec, word_of(st.addr)));
+            out.push(MicroOp::ntstore(rec + 8, st.value));
+          }
+          const Addr marker = cursor.next_record();
+          out.push(MicroOp::ntstore(marker, recovery::make_commit_marker(tx)));
+          out.push(MicroOp::ntstore(marker + 8, deferred_stores.size()));
+          out.push(MicroOp::sfence());
+          if (!opts.adr) out.push(MicroOp::pcommit());
+          out.push(MicroOp::sfence());
+        } else if (!deferred_stores.empty()) {
           // Ordering (SpOptions): by default the textbook two rounds —
           // records durable, then the commit marker durable, then the data
           // stores. single_round collapses the two pcommits into one,

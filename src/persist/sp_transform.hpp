@@ -28,6 +28,11 @@ struct SpOptions {
   /// ADR platform: the controller write queue is in the persistence
   /// domain, so sfence alone orders durability — no pcommit is emitted.
   bool adr = false;
+  /// Deliberately broken variant for the persistence-order checker's
+  /// mutation tests: the transaction's data stores are made durable
+  /// *before* their log records, inverting the WAL ordering. Never set on
+  /// a real run; seeded via PersistenceDomain::adjust_sp_options().
+  bool data_first = false;
 };
 
 core::Trace transform_sp(const core::Trace& in, CoreId core,

@@ -40,6 +40,20 @@ class TcNodrainDomain final : public PersistenceDomain {
   TcNodrainDomain() : PersistenceDomain(tc_nodrain_policy()) {}
   std::string_view name() const override { return "tc-nodrain"; }
 
+  check::CheckerRules checker_rules() const override {
+    // TC's invariants verbatim: the data path is identical, only the
+    // TX_END handshake is lazy — and the deferred commit request always
+    // reaches the NTC at or before the last drain, so committed-only
+    // draining still holds.
+    check::CheckerRules r;
+    r.single_writer = true;
+    r.allowed_heap_sources = check::source_bit(mem::Source::kTxCache);
+    r.fifo_drain = true;
+    r.no_stale_read = true;
+    r.no_uncommitted = true;
+    return r;
+  }
+
   void bind(const DomainWiring& wiring) override {
     NTC_ASSERT(!wiring.ntcs.empty(),
                "TC-NODRAIN mechanism requires a transaction cache");

@@ -93,6 +93,21 @@ const std::map<std::string, Key>& registry() {
         [](const SystemConfig& c) {
           return std::string(c.track_recovery_state ? "1" : "0");
         }};
+    k["check"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          if (v == "off") {
+            c.check = CheckMode::kOff;
+          } else if (v == "collect") {
+            c.check = CheckMode::kCollect;
+          } else if (v == "fatal") {
+            c.check = CheckMode::kFatal;
+          } else {
+            return false;
+          }
+          return true;
+        },
+        [](const SystemConfig& c) { return std::string(to_string(c.check)); },
+        [] { return std::string("one of: off, collect, fatal"); }};
 
     auto cache_keys = [&k](const std::string& prefix,
                            CacheConfig SystemConfig::* level) {

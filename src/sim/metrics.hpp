@@ -28,6 +28,9 @@ struct Metrics {
   std::uint64_t llc_wb_dropped = 0;
   std::uint64_t ntc_spills = 0;
   double ntc_stall_frac = 0.0;  ///< Fraction of core-cycles stalled on a full NTC.
+  /// Persistence-order checker violations (0 when the checker is off).
+  /// Diagnostic only — deliberately kept out of the results CSV.
+  std::uint64_t check_violations = 0;
 };
 
 }  // namespace ntcsim::sim

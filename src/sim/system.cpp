@@ -1,5 +1,6 @@
 #include "sim/system.hpp"
 
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -8,6 +9,22 @@
 #include "sim/profiler.hpp"
 
 namespace ntcsim::sim {
+
+namespace {
+
+/// cfg.check with the NTCSIM_CHECK environment override applied
+/// ("0"/"off", "1"/"collect", "fatal"; anything else is ignored).
+CheckMode resolve_check_mode(CheckMode configured) {
+  const char* env = std::getenv("NTCSIM_CHECK");
+  if (env == nullptr) return configured;
+  const std::string v(env);
+  if (v == "0" || v == "off") return CheckMode::kOff;
+  if (v == "1" || v == "collect") return CheckMode::kCollect;
+  if (v == "fatal") return CheckMode::kFatal;
+  return configured;
+}
+
+}  // namespace
 
 System::System(const SystemConfig& cfg, SystemOptions opts,
                persist::KilnConfig kiln_cfg)
@@ -91,6 +108,26 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
   m_nvm_writes_ = CounterHandle(stats_, "nvm.writes");
   m_nvm_reads_ = CounterHandle(stats_, "nvm.reads");
   m_dram_writes_ = CounterHandle(stats_, "dram.writes");
+
+  const CheckMode mode = resolve_check_mode(cfg_.check);
+  if (mode != CheckMode::kOff) {
+    check::CheckerRules rules = domain_->checker_rules();
+    if (policy_.software_logging && !opts_.sp_ordered) {
+      // The Fig. 2c negative control breaks WAL ordering on purpose; the
+      // crash tests assert the *recovery* failure, not a checker abort.
+      rules.log_before_data = false;
+    }
+    if (rules.any()) {
+      checker_ = std::make_unique<check::PersistOrderChecker>(
+          rules, cfg_.address_space, cfg_.cores, mode == CheckMode::kFatal);
+      checker_->set_clock(&now_);
+      mem_->set_check_sink(checker_.get());
+      hier_->set_check_sink(checker_.get());
+      for (auto& n : ntcs_) n->set_check_sink(checker_.get());
+      if (kiln_ != nullptr) kiln_->set_check_sink(checker_.get());
+      for (auto& c : cores_) c->set_check_sink(checker_.get());
+    }
+  }
 }
 
 void System::load_trace(CoreId core, core::Trace trace) {
@@ -99,6 +136,7 @@ void System::load_trace(CoreId core, core::Trace trace) {
     persist::SpOptions sp;
     sp.ordered = opts_.sp_ordered;
     sp.adr = policy_.adr_domain;
+    domain_->adjust_sp_options(sp);
     traces_[core] =
         persist::transform_sp(trace, core, cfg_.address_space, sp);
   } else {
@@ -227,6 +265,7 @@ Metrics System::metrics() const {
     m.ntc_stall_frac = static_cast<double>(ntc_stalls) /
                        static_cast<double>(m.cycles * cfg_.cores);
   }
+  if (checker_ != nullptr) m.check_violations = checker_->violation_count();
   return m;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "check/persist_order_checker.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
 #include "common/stat_handle.hpp"
@@ -69,6 +70,10 @@ class System {
   mem::MemorySystem& memory() { return *mem_; }
   const persist::PersistenceDomain& domain() const { return *domain_; }
   const recovery::DurableState* durable() const { return durable_.get(); }
+  /// The online persistence-order checker, or null when cfg.check (after
+  /// the NTCSIM_CHECK env override) resolved to off or the domain declares
+  /// no rules.
+  const check::PersistOrderChecker* checker() const { return checker_.get(); }
   /// Event-queue introspection (cost-regression guards count pushes).
   const EventQueue& events() const { return events_; }
 
@@ -88,6 +93,7 @@ class System {
   std::vector<std::unique_ptr<txcache::TxCache>> ntcs_;
   std::unique_ptr<persist::KilnUnit> kiln_;
   std::vector<std::unique_ptr<core::Core>> cores_;
+  std::unique_ptr<check::PersistOrderChecker> checker_;
   std::vector<core::Trace> traces_;
   Cycle now_ = 0;
   Cycle stats_epoch_ = 0;  ///< Cycle at the last reset_stats().

@@ -1,6 +1,7 @@
 #include "txcache/tx_cache.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -80,11 +81,29 @@ bool TxCache::write(Cycle now, Addr addr, Word value, TxId tx) {
   head_ = next_(head_);
   ++count_;
   stat_writes_->inc();
+  if (sink_ != nullptr) {
+    check::CheckEvent ce;
+    ce.kind = check::EventKind::kNtcInsert;
+    ce.core = core_;
+    ce.tx = tx;
+    ce.addr = e.line;
+    ce.seq = e.seq;
+    ce.persistent = true;
+    sink_->on_event(ce);
+  }
   return true;
 }
 
 void TxCache::commit(TxId tx) {
   stat_commits_->inc();
+  if (sink_ != nullptr) {
+    check::CheckEvent ce;
+    ce.kind = check::EventKind::kNtcCommit;
+    ce.core = core_;
+    ce.tx = tx;
+    ce.persistent = true;
+    sink_->on_event(ce);
+  }
   active_lines_.clear();  // the open transaction's entries become immutable
   // CAM match on TxID across the data array (§4.1); only ACTIVE entries can
   // match, and active_fifo_ lists exactly those, oldest first. Matching
@@ -152,11 +171,22 @@ void TxCache::on_ack(Addr line_addr) {
         NTC_ASSERT(committed_in_ring_ > 0, "ack frees a committed entry");
         --committed_in_ring_;
         advance_tail_();
+        if (sink_ != nullptr) {
+          check::CheckEvent ce;
+          ce.kind = check::EventKind::kNtcRelease;
+          ce.core = core_;
+          ce.addr = line_addr;
+          ce.persistent = true;
+          sink_->on_event(ce);
+        }
         return;
       }
     }
   }
-  NTC_ASSERT(false, "NVM ack does not match any issued NTC entry");
+  NTC_CHECK_MSG(false,
+                "%s: NVM ack for line 0x%" PRIx64
+                " does not match any issued NTC entry (occupancy %zu)",
+                name_.c_str(), line_addr, count_);
 }
 
 void TxCache::advance_tail_() {
@@ -180,9 +210,22 @@ bool TxCache::issue_entry_(Cycle now, std::size_t idx) {
   const Addr line = e.line;
   req.on_complete = [this, line](const mem::MemRequest&) { on_ack(line); };
   const bool ok = mem_->enqueue(std::move(req), now);
-  NTC_ASSERT(ok, "NVM write queue checked before NTC issue");
+  NTC_CHECK_MSG(ok,
+                "%s: NVM write queue rejected NTC drain of line 0x%" PRIx64
+                " (tx %" PRIu32 ") after the full check passed",
+                name_.c_str(), line, e.tx);
   e.issued = true;
   stat_issued_->inc();
+  if (sink_ != nullptr) {
+    check::CheckEvent ce;
+    ce.kind = check::EventKind::kNtcDrainIssue;
+    ce.core = core_;
+    ce.tx = e.tx;
+    ce.addr = line;
+    ce.seq = e.seq;
+    ce.persistent = true;
+    sink_->on_event(ce);
+  }
   return true;
 }
 
@@ -241,15 +284,36 @@ bool TxCache::issue_spill_home_(Cycle now, const std::shared_ptr<Spill>& spill) 
   req.source = mem::Source::kTxCache;
   req.payload = spill->words;
   // Shared ownership keeps the record alive past reaping.
-  req.on_complete = [this, spill](const mem::MemRequest&) {
+  req.on_complete = [this, spill, line](const mem::MemRequest&) {
     spill->home_done = true;
     NTC_ASSERT(committed_undone_spills_ > 0, "home ack matches a committed spill");
     --committed_undone_spills_;
     stat_acks_->inc();
+    if (sink_ != nullptr) {
+      check::CheckEvent ce;
+      ce.kind = check::EventKind::kNtcRelease;
+      ce.core = core_;
+      ce.addr = line;
+      ce.persistent = true;
+      sink_->on_event(ce);
+    }
   };
   const bool ok = mem_->enqueue(std::move(req), now);
-  NTC_ASSERT(ok, "NVM write queue checked before spill home write");
+  NTC_CHECK_MSG(ok,
+                "%s: NVM write queue rejected spill home write of line 0x%" PRIx64
+                " (tx %" PRIu32 ") after the full check passed",
+                name_.c_str(), line, spill->tx);
   spill->home_issued = true;
+  if (sink_ != nullptr) {
+    check::CheckEvent ce;
+    ce.kind = check::EventKind::kNtcDrainIssue;
+    ce.core = core_;
+    ce.tx = spill->tx;
+    ce.addr = line;
+    ce.seq = spill->seq;
+    ce.persistent = true;
+    sink_->on_event(ce);
+  }
   return true;
 }
 
@@ -262,6 +326,11 @@ void TxCache::tick(Cycle now) {
   // oldest committed-unissued ring entry is committed_fifo_.front() and the
   // oldest unissued spill is spills_[spill_home_issued_live_] (home writes
   // issue in seq order, so the issued ones form a prefix of the deque).
+  if (drain_order_mutant_ && committed_fifo_.size() > 1) {
+    // Test seam: invert the drain order of the two oldest committed
+    // entries so the checker's fifo-drain rule has something to catch.
+    std::swap(committed_fifo_.front(), committed_fifo_.back());
+  }
   unsigned issued = 0;
   while (issued < cfg_.drain_per_cycle &&
          (!committed_fifo_.empty() || committed_spills_ > 0)) {

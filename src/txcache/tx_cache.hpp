@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/events.hpp"
 #include "common/config.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
@@ -75,6 +76,15 @@ class TxCache {
 
   const std::string& name() const { return name_; }
 
+  /// Persistence-order checker tap (null = off): inserts, commits, drain
+  /// issues and releases.
+  void set_check_sink(check::CheckSink* sink) { sink_ = sink; }
+
+  /// Test seam (mutation testing of the checker): drain the two oldest
+  /// committed ring entries in swapped order, breaking the FIFO invariant
+  /// the real hardware guarantees. Never set outside tests.
+  void set_drain_order_mutant(bool on) { drain_order_mutant_ = on; }
+
  private:
   enum class State : std::uint8_t { kAvailable, kActive, kCommitted };
 
@@ -109,6 +119,8 @@ class TxCache {
   TxCacheConfig cfg_;
   AddressSpace space_;
   mem::MemorySystem* mem_;
+  check::CheckSink* sink_ = nullptr;
+  bool drain_order_mutant_ = false;
 
   std::vector<Entry> entries_;
   std::size_t head_ = 0;  ///< Next insertion slot.

@@ -101,6 +101,24 @@ TEST_P(MechTest, TcNvmWritesComeOnlyFromTheNtc) {
   EXPECT_GT(sys.stats().counter_value("nvm.writes.txcache"), 0u);
 }
 
+TEST_P(MechTest, CheckerFindsNoViolationsInHealthyMechanisms) {
+  // The --check path on the paper-shaped config: every matrix mechanism
+  // must satisfy its own declared ordering invariants end to end.
+  for (Mechanism mech : matrix_mechanisms()) {
+    SystemConfig cfg = small_cfg(mech);
+    cfg.check = CheckMode::kCollect;
+    workload::SimHeap heap(cfg.address_space, cfg.cores);
+    System sys(cfg);
+    sys.load_trace(0,
+                   workload::generate(small_wl(GetParam()), 0, heap, nullptr));
+    sys.run();
+    EXPECT_EQ(sys.metrics().check_violations, 0u) << mechanism_label(mech);
+    if (sys.checker() != nullptr) {
+      EXPECT_TRUE(sys.checker()->rules().any());
+    }
+  }
+}
+
 TEST_P(MechTest, KilnLoadLatencyIsWorst) {
   const auto m = all();
   const double opt = m.at(Mechanism::kOptimal).pload_latency;

@@ -48,6 +48,9 @@ void usage() {
       "  --lookup=PCT         percentage of measured ops that are searches\n"
       "  --seed=N             workload RNG seed\n"
       "  --crash-at=CYCLE     crash in the measured phase, recover, check\n"
+      "  --check[=MODE]       online persistence-order checker: collect\n"
+      "                       (default), fatal, or off; violations exit 3.\n"
+      "                       NTCSIM_CHECK is the env equivalent\n"
       "  --matrix             run the full workload x mechanism evaluation\n"
       "                       matrix instead of a single cell\n"
       "  --jobs=N             worker threads for --matrix (default: all\n"
@@ -162,6 +165,22 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       seed = value();
     } else if (a.rfind("--crash-at=", 0) == 0) {
       cli.crash_at = std::stoull(value());
+    } else if (a == "--check") {
+      cli.cfg.check = CheckMode::kCollect;
+    } else if (a.rfind("--check=", 0) == 0) {
+      const std::string mode = value();
+      if (mode == "off") {
+        cli.cfg.check = CheckMode::kOff;
+      } else if (mode == "collect") {
+        cli.cfg.check = CheckMode::kCollect;
+      } else if (mode == "fatal") {
+        cli.cfg.check = CheckMode::kFatal;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --check mode \"%s\" (off | collect | fatal)\n",
+                     mode.c_str());
+        return false;
+      }
     } else if (a == "--matrix") {
       cli.matrix = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
@@ -210,18 +229,27 @@ int run_matrix_mode(const Cli& cli) {
   opts.seed = cli.params.seed;
   opts.jobs = cli.jobs;
   const sim::Matrix matrix = sim::run_matrix(cli.cfg, opts);
+  std::uint64_t check_violations = 0;
+  for (const auto& [wl, row] : matrix) {
+    for (const auto& [mech, m] : row) check_violations += m.check_violations;
+  }
   if (cli.csv) {
     sim::write_matrix_csv(std::cout, matrix);
-    return 0;
+  } else {
+    sim::print_figure(
+        std::cout, "Matrix: IPC", matrix,
+        [](const sim::Metrics& m) { return m.ipc; },
+        "IPC normalized to Optimal; higher is better.");
+    sim::print_figure(
+        std::cout, "Matrix: throughput", matrix,
+        [](const sim::Metrics& m) { return m.tx_per_kilocycle; },
+        "Transactions/kcycle normalized to Optimal; higher is better.");
   }
-  sim::print_figure(
-      std::cout, "Matrix: IPC", matrix,
-      [](const sim::Metrics& m) { return m.ipc; },
-      "IPC normalized to Optimal; higher is better.");
-  sim::print_figure(
-      std::cout, "Matrix: throughput", matrix,
-      [](const sim::Metrics& m) { return m.tx_per_kilocycle; },
-      "Transactions/kcycle normalized to Optimal; higher is better.");
+  if (cli.cfg.check != CheckMode::kOff) {
+    std::fprintf(stderr, "persistence-order checker: %llu violation(s)\n",
+                 static_cast<unsigned long long>(check_violations));
+    if (check_violations > 0) return 3;
+  }
   return 0;
 }
 
@@ -295,6 +323,15 @@ int run(const Cli& cli) {
   if (cli.stats) {
     std::cout << "\n-- raw statistics --\n";
     sys.stats().dump(std::cout);
+  }
+  if (sys.checker() != nullptr) {
+    std::fprintf(stderr, "persistence-order checker: %llu violation(s)\n",
+                 static_cast<unsigned long long>(
+                     sys.checker()->violation_count()));
+    if (sys.checker()->violation_count() > 0) {
+      sys.checker()->report(stderr);
+      return 3;
+    }
   }
   return 0;
 }
