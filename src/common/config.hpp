@@ -138,6 +138,27 @@ constexpr std::string_view to_string(CheckMode m) {
   return "?";
 }
 
+/// Service-mode request frontend: instead of replaying the measured trace
+/// back-to-back, transactions become *requests* that arrive at a
+/// configured rate, and the per-request latency (retire − arrival,
+/// queueing included) feeds the tail-latency histogram. Arrivals are
+/// precomputed deterministically per (seed, core) from common/rng.hpp, so
+/// service cells stay bit-identical under `--jobs=N`.
+struct ServiceConfig {
+  bool enabled = false;
+  /// Offered load in requests per kilocycle per core (open loop).
+  double rate = 1.0;
+  /// Measured requests (transactions) per core; 0 keeps the workload's
+  /// default operation count.
+  std::uint64_t requests = 0;
+  /// Open loop: arrival times are independent of completion, so queueing
+  /// delay shows up in the latency tail. Closed loop: the next request is
+  /// issued as soon as the previous one retires (back-to-back).
+  bool open_loop = true;
+  /// Poisson process (exponential interarrival) vs fixed spacing.
+  bool poisson = true;
+};
+
 struct SystemConfig {
   unsigned cores = 4;
   double ghz = 2.0;
@@ -149,6 +170,7 @@ struct SystemConfig {
   TxCacheConfig ntc;
   MemCtrlConfig dram;
   MemCtrlConfig nvm;
+  ServiceConfig service;
   Mechanism mechanism = Mechanism::kOptimal;
 
   /// Record functional values and transaction journals so that crash

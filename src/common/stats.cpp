@@ -28,6 +28,15 @@ void Histogram::merge(const Histogram& other) {
   total_ += other.total_;
 }
 
+Histogram Histogram::diff_since(const Histogram& earlier) const {
+  Histogram d;
+  for (int b = 0; b < kBuckets; ++b) {
+    d.buckets_[b] = buckets_[b] - earlier.buckets_[b];
+  }
+  d.total_ = total_ - earlier.total_;
+  return d;
+}
+
 void Histogram::reset() { *this = Histogram{}; }
 
 Counter& StatSet::counter(const std::string& name) {

@@ -51,6 +51,9 @@ class Histogram {
   void add(std::uint64_t v);
   /// Accumulate another histogram's buckets into this one.
   void merge(const Histogram& other);
+  /// Bucket-wise `this - earlier`, for windowed views over a cumulative
+  /// histogram (`earlier` must be a previous snapshot of this one).
+  Histogram diff_since(const Histogram& earlier) const;
   std::uint64_t bucket(int i) const { return buckets_[i]; }
   std::uint64_t total() const { return total_; }
   /// Smallest value v such that at least `pct` percent of samples are <= the

@@ -18,6 +18,8 @@ Core::Core(CoreId id, const CoreConfig& cfg, PersistHooks& domain,
   stat_load_lat_ = AccumulatorHandle(*stats_, prefix_ + ".load_latency");
   stat_pload_lat_ = AccumulatorHandle(*stats_, prefix_ + ".pload_latency");
   stat_pload_hist_ = HistogramHandle(*stats_, prefix_ + ".pload_latency_hist");
+  stat_req_lat_ = AccumulatorHandle(*stats_, prefix_ + ".req_latency");
+  stat_req_hist_ = HistogramHandle(*stats_, prefix_ + ".req_latency_hist");
   stat_retired_ = CounterHandle(*stats_, prefix_ + ".retired");
   stat_txs_ = CounterHandle(*stats_, prefix_ + ".txs");
   stat_ntc_stall_ = CounterHandle(*stats_, prefix_ + ".ntc_stall_cycles");
@@ -35,6 +37,8 @@ Core::Core(CoreId id, const CoreConfig& cfg, PersistHooks& domain,
 void Core::bind_trace(const Trace* trace) {
   trace_ = trace;
   cursor_ = 0;
+  req_start_q_.clear();
+  trace_base_valid_ = false;
 }
 
 bool Core::forwarded_by_store_(const RobEntry* until, Addr addr) const {
@@ -60,6 +64,15 @@ void Core::fetch_(Cycle now) {
   unsigned fetched = 0;
   while (trace_ != nullptr && cursor_ < trace_->size() &&
          rob_.size() < cfg_.rob_entries && fetched < cfg_.issue_width) {
+    // Open-loop service mode: a kTxBegin stamped with a future arrival
+    // cycle has not been issued by the load generator yet — the frontend
+    // idles until it arrives. A congested core fetches it late, and that
+    // queueing delay lands in the request latency (start = arrival).
+    if ((*trace_)[cursor_].kind == OpKind::kTxBegin &&
+        (*trace_)[cursor_].addr > 0 &&
+        trace_base_ + (*trace_)[cursor_].addr > now) {
+      break;
+    }
     RobEntry e;
     e.op = (*trace_)[cursor_++];
     switch (e.op.kind) {
@@ -68,6 +81,12 @@ void Core::fetch_(Cycle now) {
         break;
       case OpKind::kLoad:
         e.issue_cycle = now;
+        break;
+      case OpKind::kTxBegin:
+        e.ready = true;
+        req_start_q_.push_back(
+            e.op.addr > 0 ? trace_base_ + static_cast<Cycle>(e.op.addr)
+                          : now);
         break;
       default:
         e.ready = true;  // readiness checked at retire for the rest
@@ -267,6 +286,11 @@ bool Core::retire_one_(Cycle now) {
       mode_reg_ = kNoTx;
       ++committed_txs_;
       stat_txs_->inc();
+      NTC_ASSERT(!req_start_q_.empty(), "TX_END without a request start");
+      const Cycle req_lat = now - req_start_q_.front();
+      req_start_q_.pop_front();
+      stat_req_lat_->add(static_cast<double>(req_lat));
+      stat_req_hist_->add(req_lat);
       break;
     }
 
@@ -319,6 +343,10 @@ bool Core::retire_one_(Cycle now) {
 
 void Core::tick(Cycle now) {
   now_cache_ = now;
+  if (!trace_base_valid_) {
+    trace_base_ = now;
+    trace_base_valid_ = true;
+  }
   // A write-combining buffer does not hold data forever: once the frontend
   // has nothing left the open line flushes on its own (WC timeout).
   if (trace_ != nullptr && cursor_ >= trace_->size() && rob_.empty() &&

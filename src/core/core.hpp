@@ -104,6 +104,11 @@ class Core {
 
   const Trace* trace_ = nullptr;
   std::size_t cursor_ = 0;
+  /// Cycle of the first tick after bind_trace(): arrival stamps on kTxBegin
+  /// ops are relative to the trace's start, so the gate and the latency
+  /// math rebase them onto the absolute clock.
+  Cycle trace_base_ = 0;
+  bool trace_base_valid_ = false;
   std::deque<RobEntry> rob_;
   std::deque<RobEntry*> unissued_q_;  ///< Loads awaiting issue, in order.
   std::deque<SbEntry> sb_;
@@ -125,9 +130,17 @@ class Core {
   std::uint64_t committed_txs_ = 0;
   Cycle now_cache_ = 0;  ///< Last ticked cycle; read by load callbacks.
 
+  /// Request-latency accounting: one entry per in-flight transaction,
+  /// pushed at kTxBegin fetch (the request's arrival cycle when service
+  /// mode stamped one, else the fetch cycle) and popped at the committed
+  /// kTxEnd retire. Transactions are serial per core, so FIFO order holds.
+  std::deque<Cycle> req_start_q_;
+
   AccumulatorHandle stat_load_lat_;
   AccumulatorHandle stat_pload_lat_;
   HistogramHandle stat_pload_hist_;
+  AccumulatorHandle stat_req_lat_;
+  HistogramHandle stat_req_hist_;
   CounterHandle stat_retired_;
   CounterHandle stat_txs_;
   CounterHandle stat_ntc_stall_;

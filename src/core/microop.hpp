@@ -28,7 +28,12 @@ struct MicroOp {
   OpKind kind = OpKind::kCompute;
   FlushKind flush = FlushKind::kData;
   bool persistent = false;
-  Addr addr = 0;   ///< kLoad / kStore / kClwb.
+  /// kLoad / kStore / kClwb: the accessed address. kTxBegin: the request's
+  /// arrival cycle (0 = back-to-back; service mode stamps open-loop
+  /// arrivals here, see workload/service.hpp) — the field is otherwise
+  /// unused there and the SP transform passes kTxBegin ops through
+  /// verbatim, so the stamp survives software-logging mechanisms.
+  Addr addr = 0;
   Word value = 0;  ///< kStore payload; kTxBegin carries the TxId.
 
   static MicroOp compute() { return {}; }

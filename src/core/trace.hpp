@@ -20,6 +20,8 @@ class Trace {
   bool empty() const { return ops_.empty(); }
   const MicroOp& operator[](std::size_t i) const { return ops_[i]; }
   const std::vector<MicroOp>& ops() const { return ops_; }
+  /// In-place rewrites (e.g. service-mode arrival stamping).
+  std::vector<MicroOp>& mutable_ops() { return ops_; }
 
   /// Counts by kind — used for Table-1-style accounting and tests.
   std::size_t count(OpKind kind) const;

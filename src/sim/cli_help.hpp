@@ -1,0 +1,51 @@
+// The `ntcsim --help` text, shared between the CLI driver and
+// tests/test_cli_docs.cpp, which cross-checks every flag listed here
+// against the CLI reference in EXPERIMENTS.md (both directions), so the
+// binary and the documentation cannot drift apart silently.
+#pragma once
+
+namespace ntcsim::sim {
+
+inline constexpr const char kCliHelp[] =
+    "ntcsim — nonvolatile-transaction-cache persistent memory simulator\n"
+    "\n"
+    "  --workload=NAME      graph | rbtree | sps | btree | hashtable\n"
+    "  --mechanism=NAME     a registered persistence mechanism (default\n"
+    "                       tc; see --list-mechanisms)\n"
+    "  --list-mechanisms    list every registered persistence mechanism\n"
+    "                       and exit\n"
+    "  --preset=NAME        paper | experiment | tiny     (default experiment)\n"
+    "  --config=FILE        apply key=value overrides from FILE\n"
+    "  --set KEY=VALUE      apply one override (repeatable)\n"
+    "  --ops=N              measured operations per core\n"
+    "  --setup=N            structure size built before measuring\n"
+    "  --lookup=PCT         percentage of measured ops that are searches\n"
+    "  --seed=N             workload RNG seed\n"
+    "  --crash-at=CYCLE     crash in the measured phase, recover, check\n"
+    "  --check[=MODE]       online persistence-order checker: collect\n"
+    "                       (default), fatal, or off; violations exit 3.\n"
+    "                       NTCSIM_CHECK is the env equivalent\n"
+    "  --serve              service mode: measured transactions become\n"
+    "                       requests arriving at --rate, with per-request\n"
+    "                       tail-latency (p50/p95/p99/p99.9) accounting\n"
+    "  --rate=R             offered load, requests per kilocycle per core\n"
+    "                       (implies --serve; default 1)\n"
+    "  --requests=N         measured requests per core (implies --serve)\n"
+    "  --closed-loop        issue each request as soon as the previous one\n"
+    "                       retires instead of open-loop timed arrivals\n"
+    "  --uniform            evenly spaced arrivals instead of the default\n"
+    "                       Poisson process\n"
+    "  --matrix             run the full workload x mechanism evaluation\n"
+    "                       matrix instead of a single cell\n"
+    "  --jobs=N             worker threads for --matrix (default: all\n"
+    "                       cores; NTCSIM_JOBS is the env equivalent)\n"
+    "  --scale=X            scale factor on measured ops for --matrix\n"
+    "  --profile[=FILE]     time the simulator's own phases and write a\n"
+    "                       self-perf report (default BENCH_selfperf.json);\n"
+    "                       simulated metrics are unaffected\n"
+    "  --csv                machine-readable one-row output\n"
+    "  --stats              dump every raw statistic after the run\n"
+    "  --dump-config        print the effective configuration and exit\n"
+    "  --help\n";
+
+}  // namespace ntcsim::sim

@@ -154,6 +154,26 @@ const std::map<std::string, Key>& registry() {
     k["ntc.drain_per_cycle"] =
         nested<unsigned>(&SystemConfig::ntc, &TxCacheConfig::drain_per_cycle);
 
+    auto bool_key = [](bool ServiceConfig::* field) {
+      return Key{
+          [field](SystemConfig& c, const std::string& v) {
+            if (v != "0" && v != "1") return false;
+            c.service.*field = v == "1";
+            return true;
+          },
+          [field](const SystemConfig& c) {
+            return std::string(c.service.*field ? "1" : "0");
+          },
+          [] { return std::string("0 or 1"); }};
+    };
+    k["serve.enabled"] = bool_key(&ServiceConfig::enabled);
+    k["serve.open_loop"] = bool_key(&ServiceConfig::open_loop);
+    k["serve.poisson"] = bool_key(&ServiceConfig::poisson);
+    k["serve.rate"] =
+        nested<double>(&SystemConfig::service, &ServiceConfig::rate);
+    k["serve.requests"] =
+        nested<std::uint64_t>(&SystemConfig::service, &ServiceConfig::requests);
+
     auto mc_keys = [&k](const std::string& prefix,
                         MemCtrlConfig SystemConfig::* mc) {
       k[prefix + ".read_queue"] =

@@ -11,6 +11,7 @@
 #include "recovery/journal.hpp"
 #include "sim/profiler.hpp"
 #include "sim/sweep.hpp"
+#include "workload/service.hpp"
 
 namespace ntcsim::sim {
 
@@ -41,6 +42,10 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
   params.setup_elems = static_cast<std::size_t>(
       static_cast<double>(params.setup_elems) * opts.setup_scale);
   if (params.setup_elems == 0) params.setup_elems = 1;
+  if (cfg.service.enabled && cfg.service.requests > 0) {
+    // Service cells pin the request count explicitly; --scale untouched.
+    params.ops = cfg.service.requests;
+  }
 
   const auto cell_start = std::chrono::steady_clock::now();
   workload::SimHeap heap(cfg.address_space, cfg.cores);
@@ -49,6 +54,10 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
     NTC_PROF_SCOPE("cell.generate");
     for (CoreId c = 0; c < cfg.cores; ++c) {
       bundles.push_back(workload::generate_phased(params, c, heap, nullptr));
+      // Open-loop service: stamp arrival cycles (relative to the measured
+      // phase's start; the core rebases them at bind time).
+      workload::stamp_service_arrivals(bundles.back().measured, cfg.service,
+                                       c, params.seed);
     }
   }
   System sys(cfg);

@@ -22,6 +22,18 @@ struct Metrics {
   std::uint64_t pload_latency_p50 = 0;
   std::uint64_t pload_latency_p99 = 0;
 
+  /// Service-mode request accounting (one request == one transaction).
+  /// Populated on every run; in open-loop service mode the latency counts
+  /// from the stamped arrival (queueing included), otherwise from fetch.
+  std::uint64_t requests = 0;
+  double req_latency = 0.0;  ///< Mean request latency, cycles.
+  /// Tail percentiles of request latency (power-of-two bucket upper
+  /// edges from the merged per-core histograms).
+  std::uint64_t req_latency_p50 = 0;
+  std::uint64_t req_latency_p95 = 0;
+  std::uint64_t req_latency_p99 = 0;
+  std::uint64_t req_latency_p999 = 0;
+
   // Secondary diagnostics.
   std::uint64_t nvm_reads = 0;
   std::uint64_t dram_writes = 0;

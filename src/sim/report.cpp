@@ -6,7 +6,8 @@ namespace {
 constexpr const char* kHeader =
     "label,cycles,retired_uops,committed_txs,ipc,tx_per_kilocycle,"
     "llc_miss_rate,nvm_writes,pload_latency,nvm_reads,dram_writes,"
-    "llc_wb_dropped,ntc_spills,ntc_stall_frac";
+    "llc_wb_dropped,ntc_spills,ntc_stall_frac,requests,req_latency,"
+    "req_latency_p50,req_latency_p95,req_latency_p99,req_latency_p999";
 }  // namespace
 
 void write_metrics_csv_row(std::ostream& os, const std::string& label,
@@ -16,7 +17,10 @@ void write_metrics_csv_row(std::ostream& os, const std::string& label,
      << m.committed_txs << ',' << m.ipc << ',' << m.tx_per_kilocycle << ','
      << m.llc_miss_rate << ',' << m.nvm_writes << ',' << m.pload_latency
      << ',' << m.nvm_reads << ',' << m.dram_writes << ',' << m.llc_wb_dropped
-     << ',' << m.ntc_spills << ',' << m.ntc_stall_frac << '\n';
+     << ',' << m.ntc_spills << ',' << m.ntc_stall_frac << ',' << m.requests
+     << ',' << m.req_latency << ',' << m.req_latency_p50 << ','
+     << m.req_latency_p95 << ',' << m.req_latency_p99 << ','
+     << m.req_latency_p999 << '\n';
 }
 
 void write_matrix_csv(std::ostream& os, const Matrix& matrix) {

@@ -98,6 +98,8 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
     m_ntc_stalls_.emplace_back(stats_, p + ".ntc_stall_cycles");
     m_pload_lat_.emplace_back(stats_, p + ".pload_latency");
     m_pload_hist_.emplace_back(stats_, p + ".pload_latency_hist");
+    m_req_lat_.emplace_back(stats_, p + ".req_latency");
+    m_req_hist_.emplace_back(stats_, p + ".req_latency_hist");
   }
   for (unsigned c = 0; c < ntcs_.size(); ++c) {
     m_ntc_spills_.emplace_back(stats_, "ntc" + std::to_string(c) + ".spills");
@@ -265,8 +267,31 @@ Metrics System::metrics() const {
     m.ntc_stall_frac = static_cast<double>(ntc_stalls) /
                        static_cast<double>(m.cycles * cfg_.cores);
   }
+  {
+    double req_sum = 0.0;
+    std::uint64_t req_n = 0;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+      req_sum += m_req_lat_[c]->sum();
+      req_n += m_req_lat_[c]->count();
+    }
+    m.requests = req_n;
+    if (req_n > 0) m.req_latency = req_sum / static_cast<double>(req_n);
+    const Histogram merged = request_latency_histogram();
+    if (merged.total() > 0) {
+      m.req_latency_p50 = merged.percentile_edge(50.0);
+      m.req_latency_p95 = merged.percentile_edge(95.0);
+      m.req_latency_p99 = merged.percentile_edge(99.0);
+      m.req_latency_p999 = merged.percentile_edge(99.9);
+    }
+  }
   if (checker_ != nullptr) m.check_violations = checker_->violation_count();
   return m;
+}
+
+Histogram System::request_latency_histogram() const {
+  Histogram merged;
+  for (unsigned c = 0; c < cfg_.cores; ++c) merged.merge(*m_req_hist_[c]);
+  return merged;
 }
 
 }  // namespace ntcsim::sim

@@ -51,6 +51,9 @@ class System {
   Cycle now() const { return now_; }
 
   Metrics metrics() const;
+  /// Merged per-core request-latency histogram since the last
+  /// reset_stats() (timeline windows diff successive snapshots).
+  Histogram request_latency_histogram() const;
   /// Zero every statistic and start a new measurement epoch (used between
   /// the setup and measured phases; caches and structures stay warm).
   void reset_stats();
@@ -103,8 +106,8 @@ class System {
   // resolving here creates nothing new). Per-core vectors are indexed by
   // CoreId.
   std::vector<CounterHandle> m_retired_, m_txs_, m_ntc_stalls_;
-  std::vector<AccumulatorHandle> m_pload_lat_;
-  std::vector<HistogramHandle> m_pload_hist_;
+  std::vector<AccumulatorHandle> m_pload_lat_, m_req_lat_;
+  std::vector<HistogramHandle> m_pload_hist_, m_req_hist_;
   std::vector<CounterHandle> m_ntc_spills_;  ///< One per NTC; empty otherwise.
   CounterHandle m_llc_hits_, m_llc_misses_, m_llc_wb_dropped_;
   CounterHandle m_nvm_writes_, m_nvm_reads_, m_dram_writes_;

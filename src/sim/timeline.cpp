@@ -7,6 +7,7 @@ namespace ntcsim::sim {
 std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
   std::vector<TimelineSample> samples;
   std::uint64_t prev_txs = 0;
+  Histogram prev_hist;
   bool done = false;
   while (!done) {
     done = sys.run_for(interval);
@@ -20,6 +21,11 @@ std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
         1000.0 * static_cast<double>(m.committed_txs - prev_txs) /
         static_cast<double>(interval);
     prev_txs = m.committed_txs;
+    s.requests = m.requests;
+    const Histogram cur = sys.request_latency_histogram();
+    const Histogram window = cur.diff_since(prev_hist);
+    if (window.total() > 0) s.window_req_p99 = window.percentile_edge(99.0);
+    prev_hist = cur;
     for (CoreId c = 0; c < sys.config().cores; ++c) {
       if (sys.ntc(c) != nullptr) {
         s.ntc_occupancy = std::max(s.ntc_occupancy, sys.ntc(c)->occupancy());
@@ -34,11 +40,12 @@ std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
 void write_timeline_csv(std::ostream& os,
                         const std::vector<TimelineSample>& samples) {
   os << "cycle,committed_txs,nvm_writes,nvm_reads,window_tx_per_kilocycle,"
-        "ntc_occupancy,nvm_write_queue\n";
+        "ntc_occupancy,nvm_write_queue,requests,window_req_p99\n";
   for (const TimelineSample& s : samples) {
     os << s.cycle << ',' << s.committed_txs << ',' << s.nvm_writes << ','
        << s.nvm_reads << ',' << s.window_tx_per_kilocycle << ','
-       << s.ntc_occupancy << ',' << s.nvm_write_queue << '\n';
+       << s.ntc_occupancy << ',' << s.nvm_write_queue << ',' << s.requests
+       << ',' << s.window_req_p99 << '\n';
   }
 }
 

@@ -20,6 +20,12 @@ struct TimelineSample {
   double window_tx_per_kilocycle = 0.0;  ///< Rate within this window.
   std::size_t ntc_occupancy = 0;     ///< Max across cores at sample time.
   std::size_t nvm_write_queue = 0;   ///< Controller occupancy at sample time.
+  std::uint64_t requests = 0;        ///< Cumulative completed requests.
+  /// p99 request latency of the requests retired within this window
+  /// (power-of-two bucket edge; 0 when the window retired nothing) — the
+  /// time-resolved view of a drain burst or commit stall that a whole-run
+  /// percentile averages away.
+  std::uint64_t window_req_p99 = 0;
 };
 
 /// Run `sys` to completion, recording one sample every `interval` cycles.

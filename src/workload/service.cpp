@@ -1,0 +1,32 @@
+#include "workload/service.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ntcsim::workload {
+
+std::size_t stamp_service_arrivals(core::Trace& trace,
+                                   const ServiceConfig& service, CoreId core,
+                                   std::uint64_t seed) {
+  if (!service.enabled || !service.open_loop) return 0;
+  NTC_ASSERT(service.rate > 0.0, "service mode requires a positive rate");
+  // Distinct SplitMix64 stream per (seed, core); golden-ratio mixing keeps
+  // adjacent seeds/cores uncorrelated (same idiom as the generators).
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + (core + 1) * 0xd1b54a32d192ed03ULL);
+  const double mean_gap = 1000.0 / service.rate;  // cycles per request
+  double t = 0.0;
+  std::size_t stamped = 0;
+  for (core::MicroOp& op : trace.mutable_ops()) {
+    if (op.kind != core::OpKind::kTxBegin) continue;
+    // Exponential interarrival via inverse transform; 1 - unit() is in
+    // (0, 1], so the log argument never hits zero.
+    t += service.poisson ? -std::log(1.0 - rng.unit()) * mean_gap : mean_gap;
+    op.addr = static_cast<Addr>(t);
+    ++stamped;
+  }
+  return stamped;
+}
+
+}  // namespace ntcsim::workload

@@ -1,0 +1,33 @@
+// Service-mode load generation: turns a measured workload trace into a
+// request stream. In open-loop mode each transaction (one request) gets an
+// absolute arrival cycle stamped onto its kTxBegin op; the core's frontend
+// refuses to fetch a request before it has arrived, so queueing delay under
+// overload shows up in the per-request latency histogram instead of being
+// hidden by back-to-back replay. Closed-loop mode leaves the trace
+// untouched — the next request issues as soon as the previous one retires.
+//
+// Arrival streams are pure functions of (seed, core): bit-identical across
+// worker threads, so service cells keep the sweep runner's `--jobs=N`
+// determinism contract (tests/test_sweep.cpp, tests/test_service.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/trace.hpp"
+
+namespace ntcsim::workload {
+
+/// Stamp open-loop arrival cycles onto `trace`'s kTxBegin ops, in trace
+/// order, starting from cycle 0 of the measured phase. Interarrival gaps
+/// are exponential with mean 1000/rate cycles when service.poisson is set
+/// (a Poisson arrival process), else exactly 1000/rate. No-op (returns 0)
+/// when service mode is off or closed-loop. Returns the number of requests
+/// stamped.
+std::size_t stamp_service_arrivals(core::Trace& trace,
+                                   const ServiceConfig& service, CoreId core,
+                                   std::uint64_t seed);
+
+}  // namespace ntcsim::workload

@@ -91,5 +91,44 @@ TEST(Histogram, PercentileEdge) {
   EXPECT_GE(h.percentile_edge(100.0), 1000000u / 2);
 }
 
+TEST(Histogram, TailPercentilesSeparateTheOutliers) {
+  // 998 fast samples and two slow ones: p99 still reports the fast bucket,
+  // p99.9 must land in the outliers' bucket (the service-mode contract).
+  Histogram h;
+  for (int i = 0; i < 998; ++i) h.add(10);
+  h.add(1 << 20);
+  h.add(1 << 20);
+  EXPECT_LE(h.percentile_edge(99.0), 15u);
+  EXPECT_GE(h.percentile_edge(99.9), (1u << 20) - 1);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a, b;
+  a.add(1);
+  a.add(1024);
+  b.add(1);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bucket(1), 2u);   // two 1s
+  EXPECT_EQ(a.bucket(2), 1u);   // the 3
+  EXPECT_EQ(a.bucket(11), 1u);  // the 1024
+}
+
+TEST(Histogram, DiffSinceIsTheWindowView) {
+  Histogram cumulative;
+  cumulative.add(5);
+  Histogram snapshot = cumulative;  // end of window 1
+  cumulative.add(5);
+  cumulative.add(100000);
+  const Histogram window = cumulative.diff_since(snapshot);
+  EXPECT_EQ(window.total(), 2u);
+  EXPECT_EQ(window.bucket(3), 1u);  // the second 5; the first is diffed out
+  EXPECT_GE(window.percentile_edge(99.0), 100000u - 1);
+  // Diffing against an empty snapshot reproduces the cumulative view.
+  const Histogram all = cumulative.diff_since(Histogram{});
+  EXPECT_EQ(all.total(), cumulative.total());
+}
+
 }  // namespace
 }  // namespace ntcsim

@@ -98,6 +98,12 @@ void expect_identical(const Metrics& a, const Metrics& b,
   EXPECT_EQ(a.pload_latency, b.pload_latency) << label;
   EXPECT_EQ(a.pload_latency_p50, b.pload_latency_p50) << label;
   EXPECT_EQ(a.pload_latency_p99, b.pload_latency_p99) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.req_latency, b.req_latency) << label;
+  EXPECT_EQ(a.req_latency_p50, b.req_latency_p50) << label;
+  EXPECT_EQ(a.req_latency_p95, b.req_latency_p95) << label;
+  EXPECT_EQ(a.req_latency_p99, b.req_latency_p99) << label;
+  EXPECT_EQ(a.req_latency_p999, b.req_latency_p999) << label;
   EXPECT_EQ(a.nvm_reads, b.nvm_reads) << label;
   EXPECT_EQ(a.dram_writes, b.dram_writes) << label;
   EXPECT_EQ(a.llc_wb_dropped, b.llc_wb_dropped) << label;
@@ -151,6 +157,33 @@ TEST(RunSweep, MatchesDirectRunCellAndKeepsSpecOrder) {
   expect_identical(swept[1],
                    run_cell(Mechanism::kTc, WorkloadKind::kSps, small, opts),
                    "spec 1");
+}
+
+// The acceptance contract of bench_tail_latency: a service-mode rate
+// sweep (open-loop arrival stamping, tail-latency percentiles) must be
+// bit-identical between --jobs=1 and --jobs=N, like every other sweep.
+TEST(RunSweep, ServiceRateSweepIsBitIdenticalAcrossJobs) {
+  const ExperimentOptions opts = quick_opts();
+  std::vector<JobSpec> specs;
+  for (double rate : {0.5, 2.0, 8.0}) {
+    JobSpec spec;
+    spec.mech = Mechanism::kTc;
+    spec.wl = WorkloadKind::kHashtable;
+    spec.cfg = SystemConfig::experiment();
+    spec.cfg.service.enabled = true;
+    spec.cfg.service.rate = rate;
+    spec.cfg.service.requests = 25;
+    spec.opts = opts;
+    specs.push_back(spec);
+  }
+  const std::vector<Metrics> serial = run_sweep(specs, 1);
+  const std::vector<Metrics> parallel = run_sweep(specs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].requests, 0u) << "rate point " << i;
+    expect_identical(serial[i], parallel[i],
+                     ("service rate point " + std::to_string(i)).c_str());
+  }
 }
 
 TEST(ParseBenchArgs, JobsFlag) {

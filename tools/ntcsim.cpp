@@ -4,9 +4,10 @@
 // crash injection + recovery checking.
 //
 //   ntcsim --workload=rbtree --mechanism=tc
-//   ntcsim --workload=sps --mechanism=sp --ops=2000 --cores=2 --csv
+//   ntcsim --workload=sps --mechanism=sp --ops=2000 --set cores=2 --csv
 //   ntcsim --config=machine.cfg --set llc.size_kb=1024
 //   ntcsim --workload=hashtable --mechanism=tc --crash-at=50000
+//   ntcsim --serve --rate=4 --requests=2000 --workload=hashtable
 //   ntcsim --matrix --jobs=8 --csv
 //   ntcsim --dump-config
 #include <cstdio>
@@ -19,51 +20,21 @@
 
 #include "persist/domain.hpp"
 #include "recovery/recovery.hpp"
+#include "sim/cli_help.hpp"
 #include "sim/config_io.hpp"
 #include "sim/experiment.hpp"
 #include "sim/profiler.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "sim/system.hpp"
+#include "workload/service.hpp"
 #include "workload/workloads.hpp"
 
 namespace {
 
 using namespace ntcsim;
 
-void usage() {
-  std::puts(
-      "ntcsim — nonvolatile-transaction-cache persistent memory simulator\n"
-      "\n"
-      "  --workload=NAME      graph | rbtree | sps | btree | hashtable\n"
-      "  --mechanism=NAME     a registered persistence mechanism (default\n"
-      "                       tc; see --list-mechanisms)\n"
-      "  --list-mechanisms    list every registered persistence mechanism\n"
-      "                       and exit\n"
-      "  --preset=NAME        paper | experiment | tiny     (default experiment)\n"
-      "  --config=FILE        apply key=value overrides from FILE\n"
-      "  --set KEY=VALUE      apply one override (repeatable)\n"
-      "  --ops=N              measured operations per core\n"
-      "  --setup=N            structure size built before measuring\n"
-      "  --lookup=PCT         percentage of measured ops that are searches\n"
-      "  --seed=N             workload RNG seed\n"
-      "  --crash-at=CYCLE     crash in the measured phase, recover, check\n"
-      "  --check[=MODE]       online persistence-order checker: collect\n"
-      "                       (default), fatal, or off; violations exit 3.\n"
-      "                       NTCSIM_CHECK is the env equivalent\n"
-      "  --matrix             run the full workload x mechanism evaluation\n"
-      "                       matrix instead of a single cell\n"
-      "  --jobs=N             worker threads for --matrix (default: all\n"
-      "                       cores; NTCSIM_JOBS is the env equivalent)\n"
-      "  --scale=X            scale factor on measured ops for --matrix\n"
-      "  --profile[=FILE]     time the simulator's own phases and write a\n"
-      "                       self-perf report (default BENCH_selfperf.json);\n"
-      "                       simulated metrics are unaffected\n"
-      "  --csv                machine-readable one-row output\n"
-      "  --stats              dump every raw statistic after the run\n"
-      "  --dump-config        print the effective configuration and exit\n"
-      "  --help\n");
-}
+void usage() { std::fputs(sim::kCliHelp, stdout); }
 
 struct Cli {
   WorkloadKind workload = WorkloadKind::kRbtree;
@@ -181,6 +152,22 @@ bool parse_args(int argc, char** argv, Cli& cli) {
                      mode.c_str());
         return false;
       }
+    } else if (a == "--serve") {
+      cli.cfg.service.enabled = true;
+    } else if (a.rfind("--rate=", 0) == 0) {
+      cli.cfg.service.enabled = true;
+      cli.cfg.service.rate = std::stod(value());
+      if (cli.cfg.service.rate <= 0.0) {
+        std::fprintf(stderr, "--rate must be positive\n");
+        return false;
+      }
+    } else if (a.rfind("--requests=", 0) == 0) {
+      cli.cfg.service.enabled = true;
+      cli.cfg.service.requests = std::stoull(value());
+    } else if (a == "--closed-loop") {
+      cli.cfg.service.open_loop = false;
+    } else if (a == "--uniform") {
+      cli.cfg.service.poisson = false;
     } else if (a == "--matrix") {
       cli.matrix = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
@@ -212,6 +199,9 @@ bool parse_args(int argc, char** argv, Cli& cli) {
   cli.cfg.mechanism = cli.mechanism;
   cli.params = workload::default_params(cli.workload);
   if (!ops.empty()) cli.params.ops = std::stoull(ops);
+  if (cli.cfg.service.enabled && cli.cfg.service.requests > 0) {
+    cli.params.ops = cli.cfg.service.requests;  // --requests wins over --ops
+  }
   if (!setup.empty()) cli.params.setup_elems = std::stoull(setup);
   if (!lookup.empty()) {
     cli.params.lookup_pct = static_cast<unsigned>(std::stoul(lookup));
@@ -260,6 +250,8 @@ int run(const Cli& cli) {
   for (CoreId c = 0; c < cli.cfg.cores; ++c) {
     bundles.push_back(
         workload::generate_phased(cli.params, c, heap, &journal));
+    workload::stamp_service_arrivals(bundles[c].measured, cli.cfg.service, c,
+                                     cli.params.seed);
   }
 
   sim::System sys(cli.cfg);
@@ -319,6 +311,23 @@ int run(const Cli& cli) {
                 static_cast<unsigned long long>(m.pload_latency_p99));
     std::printf("  NTC stalls / spills  %.5f / %llu\n", m.ntc_stall_frac,
                 static_cast<unsigned long long>(m.ntc_spills));
+    if (cli.cfg.service.enabled) {
+      const auto& sv = cli.cfg.service;
+      std::printf("  service              %llu requests, %s, %s arrivals"
+                  " (offered %.2f/kcycle/core)\n",
+                  static_cast<unsigned long long>(m.requests),
+                  sv.open_loop ? "open-loop" : "closed-loop",
+                  sv.open_loop ? (sv.poisson ? "poisson" : "uniform")
+                               : "back-to-back",
+                  sv.open_loop ? sv.rate : 0.0);
+      std::printf("  request latency      %.1f cy mean (p50<=%llu p95<=%llu"
+                  " p99<=%llu p99.9<=%llu)\n",
+                  m.req_latency,
+                  static_cast<unsigned long long>(m.req_latency_p50),
+                  static_cast<unsigned long long>(m.req_latency_p95),
+                  static_cast<unsigned long long>(m.req_latency_p99),
+                  static_cast<unsigned long long>(m.req_latency_p999));
+    }
   }
   if (cli.stats) {
     std::cout << "\n-- raw statistics --\n";
