@@ -55,6 +55,12 @@ constexpr const char* to_string(EventKind k) {
   return "?";
 }
 
+/// Bit for one EventKind in a crash-hazard mask (persist::CrashProfile,
+/// src/faultsim/). The kinds fit comfortably in 32 bits.
+constexpr std::uint32_t event_bit(EventKind k) {
+  return 1u << static_cast<unsigned>(k);
+}
+
 struct CheckEvent {
   EventKind kind = EventKind::kNvmRead;
   CoreId core = 0;

@@ -159,6 +159,25 @@ struct ServiceConfig {
   bool poisson = true;
 };
 
+/// Crash-injection campaign (src/faultsim/, `ntcsim --crash-sweep`).
+/// Deterministic by construction: nothing here involves wall-clock time,
+/// and the planner subsamples hazard cycles reproducibly.
+struct CrashCampaignConfig {
+  /// Crash points kept per cell after hazard-guided subsampling (first and
+  /// last hazards always survive). 0 = keep every enumerated point.
+  std::uint64_t points = 64;
+  /// Workload RNG seeds swept per (mechanism, workload): seeds 1..N.
+  unsigned seeds = 3;
+  /// Measured operations per core in each campaign cell.
+  std::uint64_t ops = 150;
+  /// Structure size built before the measured phase (the sps workload
+  /// scales this up internally to pressure the tiny LLC).
+  std::uint64_t setup = 300;
+  /// Shrink unexpected failures to the shortest reproducing transaction
+  /// prefix (costs extra replays per failure).
+  bool minimize = false;
+};
+
 struct SystemConfig {
   unsigned cores = 4;
   double ghz = 2.0;
@@ -171,6 +190,7 @@ struct SystemConfig {
   MemCtrlConfig dram;
   MemCtrlConfig nvm;
   ServiceConfig service;
+  CrashCampaignConfig crash;
   Mechanism mechanism = Mechanism::kOptimal;
 
   /// Record functional values and transaction journals so that crash

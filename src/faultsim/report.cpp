@@ -1,0 +1,106 @@
+// Campaign report writers. The JSON is deterministic by construction —
+// no timestamps, host names or wall-clock figures — so reports from
+// --jobs=1 and --jobs=N runs of the same campaign are byte-identical
+// (tests/test_faultsim.cpp pins this).
+#include <ostream>
+#include <string_view>
+
+#include "faultsim/campaign.hpp"
+#include "persist/domain.hpp"
+
+namespace ntcsim::faultsim {
+
+namespace {
+
+void json_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const CampaignReport& report,
+                       const SystemConfig& cfg) {
+  os << "{\n";
+  os << "  \"kind\": \"crash-sweep\",\n";
+  os << "  \"config\": {\"points\": " << cfg.crash.points
+     << ", \"seeds\": " << cfg.crash.seeds << ", \"ops\": " << cfg.crash.ops
+     << ", \"setup\": " << cfg.crash.setup
+     << ", \"minimize\": " << (cfg.crash.minimize ? "true" : "false")
+     << ", \"cores\": " << cfg.cores << "},\n";
+  os << "  \"totals\": {\"cells\": " << report.cells.size()
+     << ", \"passed\": " << report.passed << ", \"failed\": " << report.failed
+     << ", \"expected_failed\": " << report.expected_failed
+     << ", \"vacuous\": " << report.vacuous << "},\n";
+  os << "  \"ok\": " << (report.ok() ? "true" : "false") << ",\n";
+  os << "  \"toothless_controls\": [";
+  for (std::size_t i = 0; i < report.toothless.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_escaped(os, report.toothless[i]);
+  }
+  os << "],\n";
+  os << "  \"cells\": [";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellResult& r = report.cells[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"variant\": ";
+    json_escaped(os, r.spec.variant);
+    os << ", \"mechanism\": ";
+    json_escaped(os,
+                 persist::DomainRegistry::instance().info(r.spec.mech).name);
+    os << ", \"workload\": ";
+    json_escaped(os, to_string(r.spec.wl));
+    os << ", \"seed\": " << r.spec.seed
+       << ", \"sp_ordered\": " << (r.spec.sp_ordered ? "true" : "false")
+       << ", \"expect_consistent\": "
+       << (r.spec.expect_consistent ? "true" : "false") << ",\n     \"status\": ";
+    json_escaped(os, to_string(r.status));
+    os << ", \"hazard_events\": " << r.hazard_events
+       << ", \"crash_points\": " << r.crash_points
+       << ", \"checks\": " << r.checks << ", \"violations\": " << r.violations
+       << ", \"end_cycle\": " << r.end_cycle << ",\n     \"repro\": ";
+    json_escaped(os, r.repro);
+    if (r.violations > 0) {
+      os << ",\n     \"first_violation_cycle\": " << r.first_violation_cycle
+         << ", \"first_violation\": ";
+      json_escaped(os, r.first_violation);
+    }
+    if (r.minimized) {
+      os << ",\n     \"minimized\": {\"total_txs\": " << r.total_txs
+         << ", \"min_txs\": " << r.min_txs << ", \"min_uops\": " << r.min_uops
+         << "}";
+    }
+    os << "}";
+  }
+  os << (report.cells.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+}
+
+void write_report_text(std::ostream& os, const CampaignReport& report) {
+  for (const CellResult& r : report.cells) {
+    os << "  " << to_string(r.status) << "  " << r.spec.variant << "/"
+       << to_string(r.spec.wl) << " seed " << r.spec.seed << ": "
+       << r.violations << "/" << r.checks << " crash checks violated ("
+       << r.hazard_events << " hazards, " << r.crash_points << " points)";
+    if (r.minimized) {
+      os << "  [minimized to " << r.min_txs << "/" << r.total_txs << " txs]";
+    }
+    os << "\n";
+    if (r.status == CellStatus::kFail) {
+      os << "         first: " << r.first_violation << " @ cycle "
+         << r.first_violation_cycle << "\n         repro: " << r.repro << "\n";
+    }
+  }
+  os << "crash-sweep: " << report.cells.size() << " cells, " << report.passed
+     << " passed, " << report.failed << " failed, " << report.expected_failed
+     << " expected-fail, " << report.vacuous << " vacuous\n";
+  for (const std::string& label : report.toothless) {
+    os << "crash-sweep: warning: negative control '" << label
+       << "' saw no violation at this scale (toothless)\n";
+  }
+}
+
+}  // namespace ntcsim::faultsim

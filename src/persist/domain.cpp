@@ -51,6 +51,17 @@ class SpDomain : public PersistenceDomain {
     return r;
   }
 
+  CrashProfile crash_profile() const override {
+    CrashProfile p;
+    // The WAL window: every word turning durable (log or data) and every
+    // commit mark is a boundary where the redo-replay must still produce a
+    // whole-transaction prefix.
+    p.hazard_mask = check::event_bit(check::EventKind::kNvmDurable) |
+                    check::event_bit(check::EventKind::kTxCommitted);
+    p.expect_consistent = true;
+    return p;
+  }
+
   recovery::WordImage recover(
       const recovery::DurableState& durable) const override {
     return recovery::recover_sp(durable, wiring().cfg->address_space,
@@ -101,6 +112,22 @@ class TcDomain final : public PersistenceDomain {
     r.no_stale_read = true;
     r.no_uncommitted = true;
     return r;
+  }
+
+  CrashProfile crash_profile() const override { return tc_crash_profile(); }
+
+  /// Shared with tc-nodrain: the dangerous instants are the NTC state
+  /// transitions (commit CAM match, drain issue, entry release), the LLC
+  /// dropping a persistent write-back, and the commit point itself.
+  static CrashProfile tc_crash_profile() {
+    CrashProfile p;
+    p.hazard_mask = check::event_bit(check::EventKind::kNtcCommit) |
+                    check::event_bit(check::EventKind::kNtcDrainIssue) |
+                    check::event_bit(check::EventKind::kNtcRelease) |
+                    check::event_bit(check::EventKind::kLlcWritebackDropped) |
+                    check::event_bit(check::EventKind::kTxCommitted);
+    p.expect_consistent = true;
+    return p;
   }
 
   void bind(const DomainWiring& wiring) override {
@@ -191,6 +218,19 @@ class KilnDomain final : public PersistenceDomain {
     check::CheckerRules r;
     r.kiln_flush_complete = true;
     return r;
+  }
+
+  CrashProfile crash_profile() const override {
+    CrashProfile p;
+    // The commit window (start / per-line flush / done) plus payload
+    // durability: a crash mid-flush must still recover to the pre-tx image.
+    p.hazard_mask = check::event_bit(check::EventKind::kKilnCommitStart) |
+                    check::event_bit(check::EventKind::kKilnFlushLine) |
+                    check::event_bit(check::EventKind::kKilnCommitDone) |
+                    check::event_bit(check::EventKind::kNvmDurable) |
+                    check::event_bit(check::EventKind::kTxCommitted);
+    p.expect_consistent = true;
+    return p;
   }
 
   void bind(const DomainWiring& wiring) override {

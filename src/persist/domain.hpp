@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "check/events.hpp"
 #include "check/rules.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
@@ -58,6 +59,20 @@ struct DomainWiring {
   StatSet* stats = nullptr;
 };
 
+/// What the fault-injection campaign (src/faultsim/) needs to know about a
+/// mechanism: which CheckSink event kinds are crash *hazards* — transitions
+/// after which a power failure could plausibly expose a half-persisted
+/// state — and whether recovery from an arbitrary crash point is expected
+/// to satisfy the atomicity oracle at all.
+struct CrashProfile {
+  /// OR of check::event_bit(kind) for every hazardous EventKind. The
+  /// CrashPlanner places one crash point just after each hazard event.
+  std::uint32_t hazard_mask = 0;
+  /// False for negative controls (Optimal): crashes are *expected* to
+  /// leave inconsistent state, and the campaign accounts them as such.
+  bool expect_consistent = false;
+};
+
 class PersistenceDomain : public core::PersistHooks {
  public:
   explicit PersistenceDomain(Policy policy) : policy_(policy) {}
@@ -73,6 +88,17 @@ class PersistenceDomain : public core::PersistHooks {
   /// promises nothing (Optimal); each mechanism states its own rules —
   /// see check/rules.hpp for the catalogue.
   virtual check::CheckerRules checker_rules() const { return {}; }
+
+  /// Which event kinds the fault-injection campaign should treat as crash
+  /// hazards for this mechanism. The default (no hazards beyond payload
+  /// durability, consistency not expected) fits Optimal; every real
+  /// mechanism overrides this alongside checker_rules().
+  virtual CrashProfile crash_profile() const {
+    CrashProfile p;
+    p.hazard_mask = check::event_bit(check::EventKind::kNvmDurable);
+    p.expect_consistent = false;
+    return p;
+  }
 
   /// Called by the System before applying the SP trace transform (only for
   /// software_logging domains). Lets a domain variant tweak SpOptions —

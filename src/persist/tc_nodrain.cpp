@@ -54,6 +54,19 @@ class TcNodrainDomain final : public PersistenceDomain {
     return r;
   }
 
+  CrashProfile crash_profile() const override {
+    // TC's hazards verbatim: the same NTC transitions bound the same
+    // crash-vulnerability windows, the lazy commit just moves kNtcCommit.
+    CrashProfile p;
+    p.hazard_mask = check::event_bit(check::EventKind::kNtcCommit) |
+                    check::event_bit(check::EventKind::kNtcDrainIssue) |
+                    check::event_bit(check::EventKind::kNtcRelease) |
+                    check::event_bit(check::EventKind::kLlcWritebackDropped) |
+                    check::event_bit(check::EventKind::kTxCommitted);
+    p.expect_consistent = true;
+    return p;
+  }
+
   void bind(const DomainWiring& wiring) override {
     NTC_ASSERT(!wiring.ntcs.empty(),
                "TC-NODRAIN mechanism requires a transaction cache");

@@ -22,6 +22,18 @@ inline constexpr const char kCliHelp[] =
     "  --lookup=PCT         percentage of measured ops that are searches\n"
     "  --seed=N             workload RNG seed\n"
     "  --crash-at=CYCLE     crash in the measured phase, recover, check\n"
+    "  --crash-sweep        run the fault-injection campaign: hazard-guided\n"
+    "                       crash points per (mechanism x workload x seed)\n"
+    "                       cell, each recovered and checked against the\n"
+    "                       atomicity oracle; unexpected violations exit 2.\n"
+    "                       --mechanism/--workload/--seed narrow the cell\n"
+    "                       set; --jobs/--scale/--ops/--setup apply\n"
+    "  --crash-points=N     crash points kept per cell (0 = every hazard;\n"
+    "                       implies --crash-sweep)\n"
+    "  --minimize           shrink failing cells to the shortest\n"
+    "                       reproducing transaction prefix\n"
+    "  --crash-report=FILE  campaign JSON report destination (default\n"
+    "                       CRASH_sweep.json; - = stdout)\n"
     "  --check[=MODE]       online persistence-order checker: collect\n"
     "                       (default), fatal, or off; violations exit 3.\n"
     "                       NTCSIM_CHECK is the env equivalent\n"

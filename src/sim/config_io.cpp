@@ -174,6 +174,25 @@ const std::map<std::string, Key>& registry() {
     k["serve.requests"] =
         nested<std::uint64_t>(&SystemConfig::service, &ServiceConfig::requests);
 
+    k["crash.points"] =
+        nested<std::uint64_t>(&SystemConfig::crash, &CrashCampaignConfig::points);
+    k["crash.seeds"] =
+        nested<unsigned>(&SystemConfig::crash, &CrashCampaignConfig::seeds);
+    k["crash.ops"] =
+        nested<std::uint64_t>(&SystemConfig::crash, &CrashCampaignConfig::ops);
+    k["crash.setup"] =
+        nested<std::uint64_t>(&SystemConfig::crash, &CrashCampaignConfig::setup);
+    k["crash.minimize"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          if (v != "0" && v != "1") return false;
+          c.crash.minimize = v == "1";
+          return true;
+        },
+        [](const SystemConfig& c) {
+          return std::string(c.crash.minimize ? "1" : "0");
+        },
+        [] { return std::string("0 or 1"); }};
+
     auto mc_keys = [&k](const std::string& prefix,
                         MemCtrlConfig SystemConfig::* mc) {
       k[prefix + ".read_queue"] =

@@ -111,7 +111,9 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
   m_nvm_reads_ = CounterHandle(stats_, "nvm.reads");
   m_dram_writes_ = CounterHandle(stats_, "dram.writes");
 
-  const CheckMode mode = resolve_check_mode(cfg_.check);
+  const CheckMode mode = opts_.force_check_off
+                             ? CheckMode::kOff
+                             : resolve_check_mode(cfg_.check);
   if (mode != CheckMode::kOff) {
     check::CheckerRules rules = domain_->checker_rules();
     if (policy_.software_logging && !opts_.sp_ordered) {
@@ -130,6 +132,16 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
       for (auto& c : cores_) c->set_check_sink(checker_.get());
     }
   }
+}
+
+void System::tap_events(check::CheckSink* sink) {
+  NTC_ASSERT(checker_ == nullptr,
+             "tap_events needs the check sinks free: run with check off");
+  mem_->set_check_sink(sink);
+  hier_->set_check_sink(sink);
+  for (auto& n : ntcs_) n->set_check_sink(sink);
+  if (kiln_ != nullptr) kiln_->set_check_sink(sink);
+  for (auto& c : cores_) c->set_check_sink(sink);
 }
 
 void System::load_trace(CoreId core, core::Trace trace) {

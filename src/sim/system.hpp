@@ -31,6 +31,11 @@ struct SystemOptions {
   /// deliberately broken unordered variant (false, Fig. 2c) used as the
   /// negative control in crash tests.
   bool sp_ordered = true;
+  /// Never install the persistence-order checker, ignoring both cfg.check
+  /// and the NTCSIM_CHECK env override. The fault-injection campaign sets
+  /// this: its verdicts come from the atomicity oracle, and it needs the
+  /// CheckSink taps free for its own event recorder (tap_events()).
+  bool force_check_off = false;
 };
 
 class System {
@@ -77,6 +82,14 @@ class System {
   /// the NTCSIM_CHECK env override) resolved to off or the domain declares
   /// no rules.
   const check::PersistOrderChecker* checker() const { return checker_.get(); }
+  /// Route every component's check-event tap to an external sink (the
+  /// fault-injection CrashPlanner records hazard cycles this way). Only
+  /// legal when no checker was installed — components hold a single
+  /// CheckSink*, so run such systems with check off.
+  void tap_events(check::CheckSink* sink);
+  /// The live cycle counter, for external sinks that stamp events
+  /// themselves (mirrors checker_->set_clock wiring).
+  const Cycle* cycle_counter() const { return &now_; }
   /// Event-queue introspection (cost-regression guards count pushes).
   const EventQueue& events() const { return events_; }
 

@@ -10,6 +10,7 @@
 //   ntcsim --serve --rate=4 --requests=2000 --workload=hashtable
 //   ntcsim --matrix --jobs=8 --csv
 //   ntcsim --dump-config
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "faultsim/campaign.hpp"
 #include "persist/domain.hpp"
 #include "recovery/recovery.hpp"
 #include "sim/cli_help.hpp"
@@ -44,6 +46,15 @@ struct Cli {
   workload::WorkloadParams params;
   bool have_params = false;
   Cycle crash_at = 0;
+  bool crash_sweep = false;
+  std::string crash_report = "CRASH_sweep.json";
+  // Which cell coordinates were given explicitly (they narrow the
+  // --crash-sweep cell set; defaults sweep everything).
+  bool mech_explicit = false;
+  bool wl_explicit = false;
+  bool seed_explicit = false;
+  bool ops_explicit = false;
+  bool setup_explicit = false;
   bool matrix = false;
   unsigned jobs = 0;  // 0 = auto
   double scale = 1.0;
@@ -85,7 +96,9 @@ bool parse_args(int argc, char** argv, Cli& cli) {
         std::fprintf(stderr, "unknown workload \"%s\"\n", value().c_str());
         return false;
       }
+      cli.wl_explicit = true;
     } else if (a.rfind("--mechanism=", 0) == 0) {
+      cli.mech_explicit = true;
       if (!sim::parse_mechanism(value(), cli.mechanism)) {
         std::fprintf(
             stderr, "unknown mechanism \"%s\" (known: %s)\n", value().c_str(),
@@ -136,6 +149,15 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       seed = value();
     } else if (a.rfind("--crash-at=", 0) == 0) {
       cli.crash_at = std::stoull(value());
+    } else if (a == "--crash-sweep") {
+      cli.crash_sweep = true;
+    } else if (a.rfind("--crash-points=", 0) == 0) {
+      cli.crash_sweep = true;
+      cli.cfg.crash.points = std::stoull(value());
+    } else if (a == "--minimize") {
+      cli.cfg.crash.minimize = true;
+    } else if (a.rfind("--crash-report=", 0) == 0) {
+      cli.crash_report = value();
     } else if (a == "--check") {
       cli.cfg.check = CheckMode::kCollect;
     } else if (a.rfind("--check=", 0) == 0) {
@@ -198,6 +220,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
 
   cli.cfg.mechanism = cli.mechanism;
   cli.params = workload::default_params(cli.workload);
+  cli.ops_explicit = !ops.empty();
+  cli.setup_explicit = !setup.empty();
   if (!ops.empty()) cli.params.ops = std::stoull(ops);
   if (cli.cfg.service.enabled && cli.cfg.service.requests > 0) {
     cli.params.ops = cli.cfg.service.requests;  // --requests wins over --ops
@@ -206,8 +230,82 @@ bool parse_args(int argc, char** argv, Cli& cli) {
   if (!lookup.empty()) {
     cli.params.lookup_pct = static_cast<unsigned>(std::stoul(lookup));
   }
+  cli.seed_explicit = !seed.empty();
   if (!seed.empty()) cli.params.seed = std::stoull(seed);
   return true;
+}
+
+// --crash-sweep: the deterministic fault-injection campaign (src/faultsim/).
+// By default every mechanism variant x {sps, hashtable, rbtree} x seeds
+// 1..crash.seeds is swept; explicit --mechanism / --workload / --seed narrow
+// the cell set (a mechanism filter keeps its negative-control sibling, e.g.
+// sp!unordered rides with sp). Exit 2 when any expected-consistent cell
+// violated atomicity.
+int run_crash_sweep_mode(const Cli& cli) {
+  SystemConfig cfg = cli.cfg;
+  if (cli.ops_explicit) cfg.crash.ops = cli.params.ops;
+  if (cli.setup_explicit) cfg.crash.setup = cli.params.setup_elems;
+  cfg.crash.ops = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(cfg.crash.ops) * cli.scale));
+
+  std::vector<faultsim::VariantSpec> variants = faultsim::default_variants();
+  if (cli.mech_explicit) {
+    std::vector<faultsim::VariantSpec> kept;
+    for (faultsim::VariantSpec& v : variants) {
+      if (v.mech == cli.mechanism) kept.push_back(std::move(v));
+    }
+    if (kept.empty()) {
+      std::fprintf(stderr, "--crash-sweep: mechanism \"%s\" has no campaign "
+                           "variant\n",
+                   persist::DomainRegistry::instance()
+                       .info(cli.mechanism).name.c_str());
+      return 1;
+    }
+    variants = std::move(kept);
+  }
+  const std::vector<WorkloadKind> workloads =
+      cli.wl_explicit ? std::vector<WorkloadKind>{cli.workload}
+                      : faultsim::default_workloads();
+  std::vector<std::uint64_t> seeds;
+  if (cli.seed_explicit) {
+    seeds.push_back(cli.params.seed);
+  } else {
+    for (unsigned s = 1; s <= std::max(1u, cfg.crash.seeds); ++s) {
+      seeds.push_back(s);
+    }
+  }
+
+  faultsim::CampaignOptions opts;
+  opts.jobs = cli.jobs;
+  opts.repro_prefix = "ntcsim";
+  if (cli.preset != "experiment") opts.repro_prefix += " --preset=" + cli.preset;
+
+  const std::vector<faultsim::CellSpec> cells =
+      faultsim::make_cells(variants, workloads, seeds);
+  const faultsim::CampaignReport report =
+      faultsim::run_campaign(cfg, cells, opts);
+
+  if (cli.crash_report == "-") {
+    // Keep stdout pure JSON so `--crash-report=- | jq` works; the human
+    // summary moves to stderr.
+    faultsim::write_report_text(std::cerr, report);
+    faultsim::write_report_json(std::cout, report, cfg);
+  } else if (!cli.crash_report.empty()) {
+    faultsim::write_report_text(std::cout, report);
+    std::ofstream out(cli.crash_report);
+    if (!out) {
+      std::fprintf(stderr, "cannot write crash report \"%s\"\n",
+                   cli.crash_report.c_str());
+      return 1;
+    }
+    faultsim::write_report_json(out, report, cfg);
+    std::printf("crash-sweep: report written to %s\n",
+                cli.crash_report.c_str());
+  } else {
+    faultsim::write_report_text(std::cout, report);
+  }
+  return report.ok() ? 0 : 2;
 }
 
 // --matrix: the full mechanism x workload evaluation of the paper's §5 in
@@ -360,6 +458,7 @@ int main(int argc, char** argv) {
   if (cli.profile) {
     session = std::make_unique<sim::ProfileSession>(cli.profile_out);
   }
+  if (cli.crash_sweep) return run_crash_sweep_mode(cli);
   if (cli.matrix) return run_matrix_mode(cli);
   return run(cli);
 }
