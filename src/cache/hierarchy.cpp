@@ -8,7 +8,7 @@
 
 namespace ntcsim::cache {
 
-Hierarchy::Hierarchy(const SystemConfig& cfg, mem::MemorySystem& mem,
+Hierarchy::Hierarchy(const NodeConfig& cfg, mem::MemorySystem& mem,
                      EventQueue& events, StatSet& stats,
                      recovery::VolatileImage* vimage)
     : cfg_(cfg),

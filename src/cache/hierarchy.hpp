@@ -48,7 +48,7 @@ class Hierarchy {
  public:
   using DoneFn = std::function<void()>;
 
-  Hierarchy(const SystemConfig& cfg, mem::MemorySystem& mem, EventQueue& events,
+  Hierarchy(const NodeConfig& cfg, mem::MemorySystem& mem, EventQueue& events,
             StatSet& stats, recovery::VolatileImage* vimage);
 
   /// Demand load. `done` fires when data is back at the core. Returns false
@@ -138,7 +138,7 @@ class Hierarchy {
   /// LLC access latency including any Kiln commit-block delay from `now`.
   Cycle llc_ready_delay(Cycle now) const;
 
-  SystemConfig cfg_;
+  NodeConfig cfg_;
   mem::MemorySystem* mem_;
   EventQueue* events_;
   StatSet* stats_;

@@ -84,15 +84,15 @@ void PersistOrderChecker::violate_(Rule rule, const CheckEvent& ev,
   v.history = history_for_(v.line);
   if (fatal_) {
     std::fprintf(stderr,
-                 "persistence-order violation [%s] cycle %" PRIu64
+                 "persistence-order violation [%s%s] cycle %" PRIu64
                  " line 0x%" PRIx64 " core %u tx %u\n  %s\n",
-                 rule_id(v.rule), v.cycle, v.line, v.core, v.tx,
-                 v.message.c_str());
+                 scope_.c_str(), rule_id(v.rule), v.cycle, v.line, v.core,
+                 v.tx, v.message.c_str());
     for (const auto& [cycle, hev] : v.history) {
       std::fprintf(stderr, "    %s\n", format_event(cycle, hev).c_str());
     }
-    NTC_CHECK_MSG(false, "persistence-order checker tripped rule %s",
-                  rule_id(v.rule));
+    NTC_CHECK_MSG(false, "persistence-order checker tripped rule %s%s",
+                  scope_.c_str(), rule_id(v.rule));
   }
   if (violations_.size() < kMaxStoredViolations) {
     violations_.push_back(std::move(v));
@@ -301,10 +301,10 @@ void PersistOrderChecker::report(std::FILE* out) const {
                violation_count_, violations_.size());
   for (const Violation& v : violations_) {
     std::fprintf(out,
-                 "  [%s] cycle %" PRIu64 " line 0x%" PRIx64
+                 "  [%s%s] cycle %" PRIu64 " line 0x%" PRIx64
                  " core %u tx %u\n    %s\n",
-                 rule_id(v.rule), v.cycle, v.line, v.core, v.tx,
-                 v.message.c_str());
+                 scope_.c_str(), rule_id(v.rule), v.cycle, v.line, v.core,
+                 v.tx, v.message.c_str());
     for (const auto& [cycle, ev] : v.history) {
       std::fprintf(out, "      %s\n", format_event(cycle, ev).c_str());
     }

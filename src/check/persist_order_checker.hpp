@@ -53,6 +53,11 @@ class PersistOrderChecker final : public CheckSink {
   /// The checker stamps cycles itself; point it at the System clock.
   void set_clock(const Cycle* now) { now_ = now; }
 
+  /// Qualify reported rule ids with a scope prefix (e.g. "node1/" in a
+  /// multi-node cluster, giving "[node1/tc.single-writer]"). Empty (the
+  /// default) keeps the single-node report format unchanged.
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+
   void on_event(const CheckEvent& ev) override;
 
   std::uint64_t violation_count() const { return violation_count_; }
@@ -84,6 +89,7 @@ class PersistOrderChecker final : public CheckSink {
   AddressSpace space_;
   bool fatal_ = false;
   const Cycle* now_ = nullptr;
+  std::string scope_;  ///< Rule-id prefix in reports ("" single-node).
 
   // Bounded event ring (violation context only).
   struct RingEvent {

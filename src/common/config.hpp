@@ -178,7 +178,38 @@ struct CrashCampaignConfig {
   bool minimize = false;
 };
 
-struct SystemConfig {
+/// Interconnect topology of a multi-node cluster (sim::Cluster). One node
+/// is the paper's whole machine; a cluster shards the service-mode request
+/// stream across `nodes` of them and charges cross-shard requests a
+/// forward and a response traversal of the node-to-node fabric.
+struct TopoConfig {
+  /// Nodes in the cluster. 1 (the default) is the single-socket paper
+  /// machine, byte-identical to the pre-cluster simulator.
+  unsigned nodes = 1;
+  /// One-way node-to-node hop latency, nanoseconds (RDMA-class fabric).
+  double hop_ns = 300.0;
+  /// Per-directed-link bandwidth, Gbit/s. Messages serialize onto a link
+  /// in ingress order, so an overloaded link adds queueing delay.
+  double link_gbps = 25.0;
+  /// Modeled wire size of one request or response message, bytes.
+  unsigned msg_bytes = 256;
+
+  /// Hop latency in CPU cycles at `ghz`.
+  Cycle hop_cycles(double ghz) const {
+    return static_cast<Cycle>(hop_ns * ghz);
+  }
+  /// Link-serialization time of one message in CPU cycles at `ghz`.
+  Cycle serialize_cycles(double ghz) const {
+    if (link_gbps <= 0.0) return 0;
+    const double ns = static_cast<double>(msg_bytes) * 8.0 / link_gbps;
+    return static_cast<Cycle>(ns * ghz);
+  }
+};
+
+/// Everything one node (cores + caches + NTCs + hybrid memory + domain)
+/// needs. The single-socket configuration of the paper's Table 2; a
+/// sim::Cluster instantiates one sim::Node per topo.nodes from this.
+struct NodeConfig {
   unsigned cores = 4;
   double ghz = 2.0;
   AddressSpace address_space;
@@ -190,7 +221,6 @@ struct SystemConfig {
   MemCtrlConfig dram;
   MemCtrlConfig nvm;
   ServiceConfig service;
-  CrashCampaignConfig crash;
   Mechanism mechanism = Mechanism::kOptimal;
 
   /// Record functional values and transaction journals so that crash
@@ -206,6 +236,14 @@ struct SystemConfig {
 #else
   CheckMode check = CheckMode::kOff;
 #endif
+};
+
+/// Whole-experiment configuration: the per-node machine (inherited — every
+/// `cfg.cores`-style access keeps working) plus cluster topology and the
+/// crash-campaign knobs that never vary per node.
+struct SystemConfig : public NodeConfig {
+  CrashCampaignConfig crash;
+  TopoConfig topo;
 
   /// Table 2 configuration verbatim.
   static SystemConfig paper();

@@ -19,6 +19,9 @@ using Word = std::uint64_t;
 
 using CoreId = std::uint32_t;
 
+/// Index of one node (socket + memory + NTCs) within a sim::Cluster.
+using NodeId = std::uint32_t;
+
 /// Transaction identifier as held in the CPU TxID register and the
 /// transaction-cache data array (16 bits in hardware, Table 1).
 using TxId = std::uint32_t;

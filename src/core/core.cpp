@@ -67,10 +67,13 @@ void Core::fetch_(Cycle now) {
     // Open-loop service mode: a kTxBegin stamped with a future arrival
     // cycle has not been issued by the load generator yet — the frontend
     // idles until it arrives. A congested core fetches it late, and that
-    // queueing delay lands in the request latency (start = arrival).
+    // queueing delay lands in the request latency (start = arrival). A
+    // cross-shard request additionally cannot be fetched before the
+    // interconnect delivered it (arrival + net_fwd).
     if ((*trace_)[cursor_].kind == OpKind::kTxBegin &&
         (*trace_)[cursor_].addr > 0 &&
-        trace_base_ + (*trace_)[cursor_].addr > now) {
+        trace_base_ + (*trace_)[cursor_].addr + (*trace_)[cursor_].net_fwd >
+            now) {
       break;
     }
     RobEntry e;
@@ -84,9 +87,12 @@ void Core::fetch_(Cycle now) {
         break;
       case OpKind::kTxBegin:
         e.ready = true;
+        // Latency counts from the request's ingress arrival (before the
+        // forward hop), so the full network round trip is visible.
         req_start_q_.push_back(
-            e.op.addr > 0 ? trace_base_ + static_cast<Cycle>(e.op.addr)
-                          : now);
+            {e.op.addr > 0 ? trace_base_ + static_cast<Cycle>(e.op.addr)
+                           : now,
+             e.op.net_rsp});
         break;
       default:
         e.ready = true;  // readiness checked at retire for the rest
@@ -287,7 +293,8 @@ bool Core::retire_one_(Cycle now) {
       ++committed_txs_;
       stat_txs_->inc();
       NTC_ASSERT(!req_start_q_.empty(), "TX_END without a request start");
-      const Cycle req_lat = now - req_start_q_.front();
+      const Cycle req_lat =
+          now + req_start_q_.front().net_rsp - req_start_q_.front().start;
       req_start_q_.pop_front();
       stat_req_lat_->add(static_cast<double>(req_lat));
       stat_req_hist_->add(req_lat);

@@ -134,7 +134,13 @@ class Core {
   /// pushed at kTxBegin fetch (the request's arrival cycle when service
   /// mode stamped one, else the fetch cycle) and popped at the committed
   /// kTxEnd retire. Transactions are serial per core, so FIFO order holds.
-  std::deque<Cycle> req_start_q_;
+  /// Cross-shard cluster requests carry a response-path interconnect delay
+  /// that is added to the recorded latency at retire.
+  struct ReqStart {
+    Cycle start = 0;
+    std::uint32_t net_rsp = 0;
+  };
+  std::deque<ReqStart> req_start_q_;
 
   AccumulatorHandle stat_load_lat_;
   AccumulatorHandle stat_pload_lat_;

@@ -35,6 +35,13 @@ struct MicroOp {
   /// verbatim, so the stamp survives software-logging mechanisms.
   Addr addr = 0;
   Word value = 0;  ///< kStore payload; kTxBegin carries the TxId.
+  /// kTxBegin only, cluster service mode (topo.nodes > 1): interconnect
+  /// delay a cross-shard request pays before the home node can fetch it
+  /// (forward hop + link serialization + queueing), and the response-path
+  /// delay added to its recorded latency. Both 0 for local requests and on
+  /// single-node runs, so the non-cluster timing is bit-identical.
+  std::uint32_t net_fwd = 0;
+  std::uint32_t net_rsp = 0;
 
   static MicroOp compute() { return {}; }
   static MicroOp load(Addr a, bool persistent) {

@@ -17,28 +17,39 @@ namespace ntcsim::faultsim {
 
 namespace {
 
-/// Raw per-core traces + oracle journal for one cell. Traces are kept
-/// pre-SP-transform (System::load_trace applies it), so the same bundle
-/// replays under any mechanism variant and any truncation.
+/// Raw per-(node, core) traces + oracle journal for one cell. Traces are
+/// kept pre-SP-transform (load_trace applies it), so the same bundle
+/// replays under any mechanism variant and any truncation. The journal
+/// follows the crash node only — that is the shard the oracle judges.
 struct CellInputs {
   recovery::Journal journal;
-  std::vector<core::Trace> traces;
+  std::vector<std::vector<core::Trace>> traces;  ///< [node][core]
   explicit CellInputs(unsigned cores) : journal(cores) {}
 };
 
-CellInputs make_inputs(const SystemConfig& cfg, const CellSpec& spec) {
+CellInputs make_inputs(const SystemConfig& cfg, const CellSpec& spec,
+                       NodeId crash_node) {
+  const unsigned nodes = std::max(1u, cfg.topo.nodes);
   CellInputs in(cfg.cores);
-  workload::SimHeap heap(cfg.address_space, cfg.cores);
-  workload::WorkloadParams p = workload::default_params(spec.wl);
+  in.traces.resize(nodes);
+  workload::WorkloadParams base = workload::default_params(spec.wl);
   // Footprint must exceed the preset's LLC so dirty evictions — the crash
   // hazard software schemes must survive — actually happen; sps elements
   // are a single word, so that workload needs a larger index range.
-  p.setup_elems = static_cast<std::size_t>(cfg.crash.setup) *
-                  (spec.wl == WorkloadKind::kSps ? 7 : 1);
-  p.ops = static_cast<std::size_t>(std::max<std::uint64_t>(1, cfg.crash.ops));
-  p.seed = spec.seed;
-  for (CoreId c = 0; c < cfg.cores; ++c) {
-    in.traces.push_back(workload::generate(p, c, heap, &in.journal));
+  base.setup_elems = static_cast<std::size_t>(cfg.crash.setup) *
+                     (spec.wl == WorkloadKind::kSps ? 7 : 1);
+  base.ops =
+      static_cast<std::size_t>(std::max<std::uint64_t>(1, cfg.crash.ops));
+  for (NodeId n = 0; n < nodes; ++n) {
+    workload::SimHeap heap(cfg.address_space, cfg.cores);
+    workload::WorkloadParams p = base;
+    // Same node-mixing as the experiment harness: node 0 keeps the raw
+    // seed, so single-node campaigns reproduce pre-cluster cells exactly.
+    p.seed = spec.seed + n * 0x9e3779b9ULL;
+    for (CoreId c = 0; c < cfg.cores; ++c) {
+      in.traces[n].push_back(workload::generate(
+          p, c, heap, n == crash_node ? &in.journal : nullptr));
+    }
   }
   return in;
 }
@@ -68,18 +79,21 @@ struct SweepOutcome {
 };
 
 /// Replay a cell, crashing nondestructively at each planned point and once
-/// more after the run drains.
+/// more after the run drains. Only `crash_node` crashes; in a multi-node
+/// cluster the remaining nodes run through unperturbed (partial failure).
 SweepOutcome replay_sweep(const SystemConfig& cfg,
                           const sim::SystemOptions& opts,
-                          const std::vector<core::Trace>& traces,
-                          const recovery::Journal& journal,
+                          const std::vector<std::vector<core::Trace>>& traces,
+                          const recovery::Journal& journal, NodeId crash_node,
                           const std::vector<Cycle>& points) {
   sim::System sys(cfg, opts);
-  for (CoreId c = 0; c < cfg.cores; ++c) sys.load_trace(c, traces[c]);
+  for (NodeId n = 0; n < traces.size() && n < sys.nodes(); ++n) {
+    for (CoreId c = 0; c < cfg.cores; ++c) sys.load_trace(n, c, traces[n][c]);
+  }
   SweepOutcome out;
   auto check_now = [&] {
     const recovery::AtomicityReport report =
-        recovery::check_atomicity(sys.crash_and_recover(), journal);
+        recovery::check_atomicity(sys.crash_and_recover(crash_node), journal);
     ++out.checks;
     if (!report.consistent) {
       if (out.violations == 0) {
@@ -120,15 +134,15 @@ core::Trace tx_prefix(const core::Trace& t, std::size_t n) {
 /// prefix turns out clean.
 void minimize_cell(const SystemConfig& cfg, const sim::SystemOptions& opts,
                    const CellInputs& in, CellResult& result) {
-  const core::Trace& full = in.traces[0];
+  const core::Trace& full = in.traces[0][0];
   const std::size_t total = full.transactions();
   result.total_txs = total;
   if (total == 0) return;
 
   auto fails_at = [&](std::size_t n) {
-    const std::vector<core::Trace> traces{tx_prefix(full, n)};
-    const CrashPlan plan = plan_cell(cfg, opts, traces, cfg.crash.points);
-    return replay_sweep(cfg, opts, traces, in.journal, plan.points)
+    const std::vector<std::vector<core::Trace>> traces{{tx_prefix(full, n)}};
+    const CrashPlan plan = plan_cell(cfg, opts, traces, 0, cfg.crash.points);
+    return replay_sweep(cfg, opts, traces, in.journal, 0, plan.points)
                .violations > 0;
   };
 
@@ -212,18 +226,22 @@ std::vector<CellSpec> default_cells(const SystemConfig& cfg) {
 CellResult run_cell(const SystemConfig& base, const CellSpec& spec,
                     const CampaignOptions& opts) {
   const SystemConfig cfg = cell_config(base, spec);
+  const unsigned nodes = std::max(1u, cfg.topo.nodes);
+  const NodeId crash_node = spec.node < nodes ? spec.node : 0;
   const sim::SystemOptions sopts = cell_options(spec);
-  const CellInputs in = make_inputs(cfg, spec);
+  const CellInputs in = make_inputs(cfg, spec, crash_node);
 
   CellResult result;
   result.spec = spec;
-  const CrashPlan plan = plan_cell(cfg, sopts, in.traces, cfg.crash.points);
+  result.spec.node = crash_node;
+  const CrashPlan plan =
+      plan_cell(cfg, sopts, in.traces, crash_node, cfg.crash.points);
   result.hazard_events = plan.hazard_events;
   result.crash_points = plan.points.size();
   result.end_cycle = plan.end_cycle;
 
-  const SweepOutcome out =
-      replay_sweep(cfg, sopts, in.traces, in.journal, plan.points);
+  const SweepOutcome out = replay_sweep(cfg, sopts, in.traces, in.journal,
+                                        crash_node, plan.points);
   result.checks = out.checks;
   result.violations = out.violations;
   result.first_violation_cycle = out.first_cycle;
@@ -241,13 +259,16 @@ CellResult run_cell(const SystemConfig& base, const CellSpec& spec,
                  mechanism_name(spec.mech) +
                  " --workload=" + std::string(to_string(spec.wl)) +
                  " --seed=" + std::to_string(spec.seed);
+  if (nodes > 1) result.repro += " --nodes=" + std::to_string(nodes);
   if (!spec.sp_ordered) result.repro += "   # with SystemOptions.sp_ordered=false";
 
   if (result.status == CellStatus::kFail && cfg.crash.minimize &&
-      cfg.cores == 1) {
+      cfg.cores == 1 && nodes == 1) {
     minimize_cell(cfg, sopts, in, result);
   } else {
-    result.total_txs = in.traces.empty() ? 0 : in.traces[0].transactions();
+    result.total_txs = in.traces[crash_node].empty()
+                           ? 0
+                           : in.traces[crash_node][0].transactions();
   }
   return result;
 }

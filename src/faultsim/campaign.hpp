@@ -34,6 +34,10 @@ struct CellSpec {
   bool expect_consistent = true;
   /// Mechanism-variant label for reports ("tc", "sp!unordered", ...).
   std::string variant;
+  /// Which cluster node the crash is injected on (cfg.topo.nodes > 1:
+  /// partial failure — the other nodes keep serving their shards). The
+  /// atomicity oracle follows this node's journal.
+  NodeId node = 0;
 };
 
 enum class CellStatus : std::uint8_t {

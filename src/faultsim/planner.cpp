@@ -34,15 +34,21 @@ std::vector<Cycle> select_crash_points(const std::vector<Cycle>& hazards,
 }
 
 CrashPlan plan_cell(const SystemConfig& cfg, const sim::SystemOptions& opts,
-                    const std::vector<core::Trace>& traces,
-                    std::uint64_t max_points) {
+                    const std::vector<std::vector<core::Trace>>& node_traces,
+                    NodeId crash_node, std::uint64_t max_points) {
   sim::SystemOptions plan_opts = opts;
   plan_opts.force_check_off = true;
   sim::System sys(cfg, plan_opts);
-  EventRecorder recorder(sys.domain().crash_profile().hazard_mask,
-                         sys.cycle_counter());
-  sys.tap_events(&recorder);
-  for (CoreId c = 0; c < cfg.cores; ++c) sys.load_trace(c, traces[c]);
+  NTC_ASSERT(crash_node < sys.nodes(), "crash node outside the cluster");
+  EventRecorder recorder(
+      sys.node(crash_node).domain().crash_profile().hazard_mask,
+      sys.cycle_counter());
+  sys.tap_events(crash_node, &recorder);
+  for (NodeId n = 0; n < node_traces.size() && n < sys.nodes(); ++n) {
+    for (CoreId c = 0; c < cfg.cores; ++c) {
+      sys.load_trace(n, c, node_traces[n][c]);
+    }
+  }
   sys.run();
 
   CrashPlan plan;
@@ -50,6 +56,14 @@ CrashPlan plan_cell(const SystemConfig& cfg, const sim::SystemOptions& opts,
   plan.end_cycle = sys.now();
   plan.points = select_crash_points(recorder.hazard_cycles(), max_points);
   return plan;
+}
+
+CrashPlan plan_cell(const SystemConfig& cfg, const sim::SystemOptions& opts,
+                    const std::vector<core::Trace>& traces,
+                    std::uint64_t max_points) {
+  return plan_cell(cfg, opts,
+                   std::vector<std::vector<core::Trace>>{traces},
+                   /*crash_node=*/0, max_points);
 }
 
 }  // namespace ntcsim::faultsim

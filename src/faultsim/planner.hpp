@@ -64,4 +64,12 @@ CrashPlan plan_cell(const SystemConfig& cfg, const sim::SystemOptions& opts,
                     const std::vector<core::Trace>& traces,
                     std::uint64_t max_points);
 
+/// Cluster variant: `node_traces[node][core]` loads the whole cluster, but
+/// only `crash_node`'s event stream is tapped — the plan places crash
+/// points where *that* node is vulnerable while the other nodes keep
+/// serving (partial-failure injection).
+CrashPlan plan_cell(const SystemConfig& cfg, const sim::SystemOptions& opts,
+                    const std::vector<std::vector<core::Trace>>& node_traces,
+                    NodeId crash_node, std::uint64_t max_points);
+
 }  // namespace ntcsim::faultsim

@@ -2,6 +2,7 @@
 // no timestamps, host names or wall-clock figures — so reports from
 // --jobs=1 and --jobs=N runs of the same campaign are byte-identical
 // (tests/test_faultsim.cpp pins this).
+#include <algorithm>
 #include <ostream>
 #include <string_view>
 
@@ -31,7 +32,8 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
      << ", \"seeds\": " << cfg.crash.seeds << ", \"ops\": " << cfg.crash.ops
      << ", \"setup\": " << cfg.crash.setup
      << ", \"minimize\": " << (cfg.crash.minimize ? "true" : "false")
-     << ", \"cores\": " << cfg.cores << "},\n";
+     << ", \"cores\": " << cfg.cores
+     << ", \"nodes\": " << std::max(1u, cfg.topo.nodes) << "},\n";
   os << "  \"totals\": {\"cells\": " << report.cells.size()
      << ", \"passed\": " << report.passed << ", \"failed\": " << report.failed
      << ", \"expected_failed\": " << report.expected_failed
@@ -53,7 +55,7 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
                  persist::DomainRegistry::instance().info(r.spec.mech).name);
     os << ", \"workload\": ";
     json_escaped(os, to_string(r.spec.wl));
-    os << ", \"seed\": " << r.spec.seed
+    os << ", \"seed\": " << r.spec.seed << ", \"node\": " << r.spec.node
        << ", \"sp_ordered\": " << (r.spec.sp_ordered ? "true" : "false")
        << ", \"expect_consistent\": "
        << (r.spec.expect_consistent ? "true" : "false") << ",\n     \"status\": ";
@@ -82,7 +84,9 @@ void write_report_json(std::ostream& os, const CampaignReport& report,
 void write_report_text(std::ostream& os, const CampaignReport& report) {
   for (const CellResult& r : report.cells) {
     os << "  " << to_string(r.status) << "  " << r.spec.variant << "/"
-       << to_string(r.spec.wl) << " seed " << r.spec.seed << ": "
+       << to_string(r.spec.wl) << " seed " << r.spec.seed;
+    if (r.spec.node > 0) os << " node " << r.spec.node;
+    os << ": "
        << r.violations << "/" << r.checks << " crash checks violated ("
        << r.hazard_events << " hazards, " << r.crash_points << " points)";
     if (r.minimized) {

@@ -4,7 +4,7 @@
 
 namespace ntcsim::mem {
 
-MemorySystem::MemorySystem(const SystemConfig& cfg, EventQueue& events,
+MemorySystem::MemorySystem(const NodeConfig& cfg, EventQueue& events,
                            StatSet& stats)
     : space_(cfg.address_space), dram_("dram", cfg.dram, events, stats) {
   // Every NVM channel registers under the same stat name, so the counters

@@ -27,7 +27,7 @@ class NvmWriteObserver {
 
 class MemorySystem {
  public:
-  MemorySystem(const SystemConfig& cfg, EventQueue& events, StatSet& stats);
+  MemorySystem(const NodeConfig& cfg, EventQueue& events, StatSet& stats);
 
   /// Routes by address. Returns false when the target queue is full.
   /// Persistent writes get the durable-image mirror + upstream ack chained

@@ -50,7 +50,7 @@ struct SpOptions;  // sp_transform.hpp
 /// built the generic machinery the domain's Policy asked for. Pointers are
 /// non-owning and outlive the domain.
 struct DomainWiring {
-  const SystemConfig* cfg = nullptr;
+  const NodeConfig* cfg = nullptr;
   /// One per core when policy().route_stores_to_ntc, else empty.
   std::vector<txcache::TxCache*> ntcs;
   /// The commit engine when policy().flush_on_commit, else null.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <functional>
 #include <istream>
 #include <map>
@@ -95,19 +96,60 @@ const std::map<std::string, Key>& registry() {
         }};
     k["check"] = Key{
         [](SystemConfig& c, const std::string& v) {
-          if (v == "off") {
-            c.check = CheckMode::kOff;
-          } else if (v == "collect") {
-            c.check = CheckMode::kCollect;
-          } else if (v == "fatal") {
-            c.check = CheckMode::kFatal;
-          } else {
-            return false;
-          }
-          return true;
+          return parse_check_mode(v, c.check);
         },
         [](const SystemConfig& c) { return std::string(to_string(c.check)); },
         [] { return std::string("one of: off, collect, fatal"); }};
+
+    k["topo.nodes"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          std::istringstream iss(v);
+          unsigned parsed{};
+          iss >> parsed;
+          if (iss.fail() || parsed == 0) return false;
+          c.topo.nodes = parsed;
+          return true;
+        },
+        [](const SystemConfig& c) { return std::to_string(c.topo.nodes); },
+        [] { return std::string("a positive node count"); }};
+    k["topo.hop_ns"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          std::istringstream iss(v);
+          double parsed{};
+          iss >> parsed;
+          if (iss.fail() || parsed < 0.0) return false;
+          c.topo.hop_ns = parsed;
+          return true;
+        },
+        [](const SystemConfig& c) {
+          std::ostringstream oss;
+          oss << c.topo.hop_ns;
+          return oss.str();
+        }};
+    k["topo.link_gbps"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          std::istringstream iss(v);
+          double parsed{};
+          iss >> parsed;
+          if (iss.fail() || parsed <= 0.0) return false;
+          c.topo.link_gbps = parsed;
+          return true;
+        },
+        [](const SystemConfig& c) {
+          std::ostringstream oss;
+          oss << c.topo.link_gbps;
+          return oss.str();
+        }};
+    k["topo.msg_bytes"] = Key{
+        [](SystemConfig& c, const std::string& v) {
+          std::istringstream iss(v);
+          unsigned parsed{};
+          iss >> parsed;
+          if (iss.fail() || parsed == 0) return false;
+          c.topo.msg_bytes = parsed;
+          return true;
+        },
+        [](const SystemConfig& c) { return std::to_string(c.topo.msg_bytes); }};
 
     auto cache_keys = [&k](const std::string& prefix,
                            CacheConfig SystemConfig::* level) {
@@ -228,6 +270,27 @@ const std::map<std::string, Key>& registry() {
 
 bool parse_mechanism(const std::string& name, Mechanism& out) {
   return persist::DomainRegistry::instance().parse(name, out);
+}
+
+bool parse_check_mode(const std::string& value, CheckMode& out) {
+  if (value == "off" || value == "0") {
+    out = CheckMode::kOff;
+  } else if (value == "collect" || value == "1") {
+    out = CheckMode::kCollect;
+  } else if (value == "fatal") {
+    out = CheckMode::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CheckMode check_mode_from_env(CheckMode configured) {
+  const char* env = std::getenv("NTCSIM_CHECK");
+  if (env == nullptr) return configured;
+  CheckMode mode = configured;
+  parse_check_mode(env, mode);
+  return mode;
 }
 
 bool parse_workload(const std::string& name, WorkloadKind& out) {

@@ -51,4 +51,15 @@ void write_config(std::ostream& os, const SystemConfig& cfg);
 bool parse_mechanism(const std::string& name, Mechanism& out);
 bool parse_workload(const std::string& name, WorkloadKind& out);
 
+/// The one checker-mode parser shared by `--check=MODE`, the `check`
+/// config key and the NTCSIM_CHECK environment override, so all three
+/// agree on accepted spellings: "off"/"0", "collect"/"1", "fatal".
+/// False and an unmodified `out` on anything else.
+bool parse_check_mode(const std::string& value, CheckMode& out);
+
+/// `configured` with the NTCSIM_CHECK environment override applied
+/// (parse_check_mode spellings; unset or unparsable values leave the
+/// configured mode in force).
+CheckMode check_mode_from_env(CheckMode configured);
+
 }  // namespace ntcsim::sim

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 #include <chrono>
 
@@ -48,35 +49,72 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
   }
 
   const auto cell_start = std::chrono::steady_clock::now();
-  workload::SimHeap heap(cfg.address_space, cfg.cores);
-  std::vector<workload::TraceBundle> bundles;
+  const unsigned nodes = std::max(1u, cfg.topo.nodes);
+  // Per-node generation: each node is its own shard with its own heap and
+  // a node-mixed workload seed, so shards hold distinct data. Node 0 uses
+  // params.seed untouched — single-node cells reproduce the pre-cluster
+  // traces bit-for-bit.
+  std::vector<std::vector<workload::TraceBundle>> bundles(nodes);
   {
     NTC_PROF_SCOPE("cell.generate");
-    for (CoreId c = 0; c < cfg.cores; ++c) {
-      bundles.push_back(workload::generate_phased(params, c, heap, nullptr));
-      // Open-loop service: stamp arrival cycles (relative to the measured
-      // phase's start; the core rebases them at bind time).
-      workload::stamp_service_arrivals(bundles.back().measured, cfg.service,
-                                       c, params.seed);
+    for (NodeId n = 0; n < nodes; ++n) {
+      workload::SimHeap heap(cfg.address_space, cfg.cores);
+      workload::WorkloadParams p = params;
+      p.seed = params.seed + n * 0x9e3779b9ULL;
+      for (CoreId c = 0; c < cfg.cores; ++c) {
+        bundles[n].push_back(workload::generate_phased(p, c, heap, nullptr));
+        // Open-loop service: stamp arrival cycles (relative to the
+        // measured phase's start; the core rebases them at bind time).
+        workload::stamp_service_arrivals(bundles[n].back().measured,
+                                         cfg.service, c, params.seed, n);
+      }
     }
   }
+  // Shard the request stream: pick each request's entry node and charge
+  // cross-shard traffic the interconnect round trip (stamp-time, so the
+  // cell stays a pure function of its inputs).
+  topo::RouteStats route;
+  if (nodes > 1 && cfg.service.enabled && cfg.service.open_loop) {
+    std::vector<std::vector<core::Trace*>> measured(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+      for (CoreId c = 0; c < cfg.cores; ++c) {
+        measured[n].push_back(&bundles[n][c].measured);
+      }
+    }
+    route = topo::route_service_arrivals(measured, cfg.topo, cfg.ghz,
+                                         params.seed);
+  }
   System sys(cfg);
+  auto require_finished = [&](const char* phase) {
+    if (!sys.timed_out()) return;
+    throw std::runtime_error(
+        std::string("cell ") + std::string(mechanism_label(mech)) + "/" +
+        std::string(to_string(wl)) + " hit the cycle cap in the " + phase +
+        " phase (deadlock or under-budgeted run)");
+  };
   {
     // Phase 1: build the structures (warm caches/NTC/NVM), unmeasured.
     NTC_PROF_SCOPE("cell.setup");
-    for (CoreId c = 0; c < cfg.cores; ++c) {
-      sys.load_trace(c, std::move(bundles[c].setup));
+    for (NodeId n = 0; n < nodes; ++n) {
+      for (CoreId c = 0; c < cfg.cores; ++c) {
+        sys.load_trace(n, c, std::move(bundles[n][c].setup));
+      }
     }
     sys.run();
+    require_finished("setup");
   }
   sys.reset_stats();
+  sys.note_route_stats(route);
   {
     // Phase 2: the steady state the paper's figures report.
     NTC_PROF_SCOPE("cell.measured");
-    for (CoreId c = 0; c < cfg.cores; ++c) {
-      sys.load_trace(c, std::move(bundles[c].measured));
+    for (NodeId n = 0; n < nodes; ++n) {
+      for (CoreId c = 0; c < cfg.cores; ++c) {
+        sys.load_trace(n, c, std::move(bundles[n][c].measured));
+      }
     }
     sys.run();
+    require_finished("measured");
   }
   if (Profiler::enabled()) {
     const auto cell_end = std::chrono::steady_clock::now();

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -43,6 +44,18 @@ struct Metrics {
   /// Persistence-order checker violations (0 when the checker is off).
   /// Diagnostic only — deliberately kept out of the results CSV.
   std::uint64_t check_violations = 0;
+
+  // Cluster topology (topo.nodes > 1; all empty/zero on single-node runs,
+  // keeping the single-node CSV byte-identical to the pre-cluster
+  // simulator). Diagnostic — not part of the aggregate CSV row.
+  /// Per-node breakdown, indexed by NodeId. Empty on single-node runs.
+  std::vector<Metrics> per_node;
+  /// Service requests that entered the cluster at a different node than
+  /// the shard holding their data and paid the interconnect round trip.
+  std::uint64_t xshard_requests = 0;
+  /// Mean one-way interconnect delay (forward path, queueing included)
+  /// over cross-shard requests, cycles. 0 when xshard_requests == 0.
+  double xshard_fwd_delay = 0.0;
 };
 
 }  // namespace ntcsim::sim

@@ -1,45 +1,31 @@
-#include "sim/system.hpp"
+#include "sim/node.hpp"
 
-#include <cstdlib>
 #include <string>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "persist/sp_transform.hpp"
+#include "sim/config_io.hpp"
 #include "sim/profiler.hpp"
 
 namespace ntcsim::sim {
 
-namespace {
-
-/// cfg.check with the NTCSIM_CHECK environment override applied
-/// ("0"/"off", "1"/"collect", "fatal"; anything else is ignored).
-CheckMode resolve_check_mode(CheckMode configured) {
-  const char* env = std::getenv("NTCSIM_CHECK");
-  if (env == nullptr) return configured;
-  const std::string v(env);
-  if (v == "0" || v == "off") return CheckMode::kOff;
-  if (v == "1" || v == "collect") return CheckMode::kCollect;
-  if (v == "fatal") return CheckMode::kFatal;
-  return configured;
-}
-
-}  // namespace
-
-System::System(const SystemConfig& cfg, SystemOptions opts,
-               persist::KilnConfig kiln_cfg)
+Node::Node(const NodeConfig& cfg, NodeId id, unsigned total_nodes,
+           EventQueue& events, const Cycle* clock, SystemOptions opts,
+           persist::KilnConfig kiln_cfg)
     : cfg_(cfg),
+      id_(id),
       opts_(opts),
       domain_(persist::DomainRegistry::instance().create(cfg.mechanism)),
       policy_(domain_->policy()) {
-  mem_ = std::make_unique<mem::MemorySystem>(cfg_, events_, stats_);
+  mem_ = std::make_unique<mem::MemorySystem>(cfg_, events, stats_);
   mem_->set_adr_domain(policy_.adr_domain);
   if (cfg_.track_recovery_state) {
     durable_ = std::make_unique<recovery::DurableState>(stats_);
     mem_->set_nvm_observer(durable_.get());
     vimage_ = std::make_unique<recovery::VolatileImage>();
   }
-  hier_ = std::make_unique<cache::Hierarchy>(cfg_, *mem_, events_, stats_,
+  hier_ = std::make_unique<cache::Hierarchy>(cfg_, *mem_, events, stats_,
                                              vimage_.get());
 
   hier_->hooks().drop_persistent_llc_writeback =
@@ -68,7 +54,7 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
 
   if (policy_.flush_on_commit) {
     kiln_ = std::make_unique<persist::KilnUnit>(
-        cfg_.cores, kiln_cfg, *hier_, events_, durable_.get(), stats_);
+        cfg_.cores, kiln_cfg, *hier_, events, durable_.get(), stats_);
     hier_->hooks().kiln_pin_query = [this](CoreId core, Addr line) {
       return kiln_->pin_query(core, line);
     };
@@ -113,7 +99,7 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
 
   const CheckMode mode = opts_.force_check_off
                              ? CheckMode::kOff
-                             : resolve_check_mode(cfg_.check);
+                             : check_mode_from_env(cfg_.check);
   if (mode != CheckMode::kOff) {
     check::CheckerRules rules = domain_->checker_rules();
     if (policy_.software_logging && !opts_.sp_ordered) {
@@ -124,7 +110,10 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
     if (rules.any()) {
       checker_ = std::make_unique<check::PersistOrderChecker>(
           rules, cfg_.address_space, cfg_.cores, mode == CheckMode::kFatal);
-      checker_->set_clock(&now_);
+      checker_->set_clock(clock);
+      if (total_nodes > 1) {
+        checker_->set_scope("node" + std::to_string(id_) + "/");
+      }
       mem_->set_check_sink(checker_.get());
       hier_->set_check_sink(checker_.get());
       for (auto& n : ntcs_) n->set_check_sink(checker_.get());
@@ -134,7 +123,7 @@ System::System(const SystemConfig& cfg, SystemOptions opts,
   }
 }
 
-void System::tap_events(check::CheckSink* sink) {
+void Node::tap_events(check::CheckSink* sink) {
   NTC_ASSERT(checker_ == nullptr,
              "tap_events needs the check sinks free: run with check off");
   mem_->set_check_sink(sink);
@@ -144,7 +133,7 @@ void System::tap_events(check::CheckSink* sink) {
   for (auto& c : cores_) c->set_check_sink(sink);
 }
 
-void System::load_trace(CoreId core, core::Trace trace) {
+void Node::load_trace(CoreId core, core::Trace trace) {
   NTC_ASSERT(core < cfg_.cores, "trace loaded on a nonexistent core");
   if (policy_.software_logging) {
     persist::SpOptions sp;
@@ -159,80 +148,56 @@ void System::load_trace(CoreId core, core::Trace trace) {
   cores_[core]->bind_trace(&traces_[core]);
 }
 
-void System::step_() {
+void Node::tick(Cycle now) {
   // The per-component ProfScopes cost one relaxed load each when profiling
   // is off; under --profile they produce the step.* phase breakdown.
-  {
-    NTC_PROF_SCOPE("step.events");
-    events_.drain_until(now_);
-  }
   {
     // A finished core's tick is a no-op (nothing to fetch, every buffer
     // empty); skipping it keeps uneven multi-core runs from paying for
     // cores that retired early.
     NTC_PROF_SCOPE("step.cores");
     for (auto& c : cores_) {
-      if (!c->finished()) c->tick(now_);
+      if (!c->finished()) c->tick(now);
     }
   }
   {
     NTC_PROF_SCOPE("step.ntc");
-    for (auto& n : ntcs_) n->tick(now_);
+    for (auto& n : ntcs_) n->tick(now);
   }
   if (kiln_ != nullptr) {
     NTC_PROF_SCOPE("step.kiln");
-    kiln_->tick(now_, *mem_);
+    kiln_->tick(now, *mem_);
   }
   {
     NTC_PROF_SCOPE("step.hierarchy");
-    hier_->tick(now_);
+    hier_->tick(now);
   }
   {
     NTC_PROF_SCOPE("step.memory");
-    mem_->tick(now_);
+    mem_->tick(now);
   }
-  ++now_;
 }
 
-bool System::finished() const {
+bool Node::drained() const {
   for (const auto& c : cores_) {
     if (!c->finished()) return false;
   }
-  if (!hier_->quiesced() || !mem_->idle() || !events_.empty()) return false;
+  if (!hier_->quiesced() || !mem_->idle()) return false;
   for (const auto& n : ntcs_) {
     if (!n->drained()) return false;
   }
   return true;
 }
 
-void System::run(Cycle max_cycles) {
-  const Cycle limit = now_ + max_cycles;
-  while (!finished()) {
-    NTC_ASSERT(now_ < limit, "simulation exceeded its cycle budget (deadlock?)");
-    step_();
-  }
-}
-
-bool System::run_for(Cycle cycles) {
-  const Cycle until = now_ + cycles;
-  while (now_ < until && !finished()) step_();
-  return finished();
-}
-
-recovery::WordImage System::crash_and_recover() const {
+recovery::WordImage Node::crash_and_recover() const {
   NTC_ASSERT(durable_ != nullptr,
              "crash_and_recover requires track_recovery_state");
   return domain_->recover(*durable_);
 }
 
-void System::reset_stats() {
-  stats_.reset();
-  stats_epoch_ = now_;
-}
-
-Metrics System::metrics() const {
+Metrics Node::metrics(Cycle cycles) const {
   Metrics m;
-  m.cycles = now_ - stats_epoch_;
+  m.cycles = cycles;
   for (unsigned c = 0; c < cfg_.cores; ++c) {
     m.retired_uops += m_retired_[c]->value();
     m.committed_txs += m_txs_[c]->value();
@@ -300,7 +265,31 @@ Metrics System::metrics() const {
   return m;
 }
 
-Histogram System::request_latency_histogram() const {
+NodeRaw Node::raw() const {
+  NodeRaw r;
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    r.retired += m_retired_[c]->value();
+    r.txs += m_txs_[c]->value();
+    r.pload_sum += m_pload_lat_[c]->sum();
+    r.pload_n += m_pload_lat_[c]->count();
+    r.req_sum += m_req_lat_[c]->sum();
+    r.req_n += m_req_lat_[c]->count();
+    r.ntc_stalls += m_ntc_stalls_[c]->value();
+    r.pload_hist.merge(*m_pload_hist_[c]);
+    r.req_hist.merge(*m_req_hist_[c]);
+  }
+  r.llc_hits = m_llc_hits_->value();
+  r.llc_misses = m_llc_misses_->value();
+  r.nvm_writes = m_nvm_writes_->value();
+  r.nvm_reads = m_nvm_reads_->value();
+  r.dram_writes = m_dram_writes_->value();
+  r.llc_wb_dropped = m_llc_wb_dropped_->value();
+  for (const CounterHandle& h : m_ntc_spills_) r.ntc_spills += h->value();
+  if (checker_ != nullptr) r.check_violations = checker_->violation_count();
+  return r;
+}
+
+Histogram Node::request_latency_histogram() const {
   Histogram merged;
   for (unsigned c = 0; c < cfg_.cores; ++c) merged.merge(*m_req_hist_[c]);
   return merged;

@@ -10,9 +10,13 @@ constexpr const char* kHeader =
     "req_latency_p50,req_latency_p95,req_latency_p99,req_latency_p999";
 }  // namespace
 
-void write_metrics_csv_row(std::ostream& os, const std::string& label,
-                           const Metrics& m, bool header) {
-  if (header) os << kHeader << '\n';
+namespace {
+
+// One physical CSV line. The schema (kHeader) is frozen; a multi-node
+// breakdown adds *rows* labelled `<label>/nodeK`, never columns, so every
+// existing CSV consumer keeps parsing and single-node output is untouched.
+void write_one_row(std::ostream& os, const std::string& label,
+                   const Metrics& m) {
   os << label << ',' << m.cycles << ',' << m.retired_uops << ','
      << m.committed_txs << ',' << m.ipc << ',' << m.tx_per_kilocycle << ','
      << m.llc_miss_rate << ',' << m.nvm_writes << ',' << m.pload_latency
@@ -21,6 +25,17 @@ void write_metrics_csv_row(std::ostream& os, const std::string& label,
      << ',' << m.req_latency << ',' << m.req_latency_p50 << ','
      << m.req_latency_p95 << ',' << m.req_latency_p99 << ','
      << m.req_latency_p999 << '\n';
+}
+
+}  // namespace
+
+void write_metrics_csv_row(std::ostream& os, const std::string& label,
+                           const Metrics& m, bool header) {
+  if (header) os << kHeader << '\n';
+  write_one_row(os, label, m);
+  for (std::size_t n = 0; n < m.per_node.size(); ++n) {
+    write_one_row(os, label + "/node" + std::to_string(n), m.per_node[n]);
+  }
 }
 
 void write_matrix_csv(std::ostream& os, const Matrix& matrix) {

@@ -1,129 +1,15 @@
-// Full-system assembly: cores + hierarchy + transaction caches + hybrid
-// memory + the selected persistence domain, with a crash-and-recover
-// entry point for the consistency experiments.
+// Compatibility header: the monolithic System was decomposed into
+// sim::Node (one socket: cores + hierarchy + NTCs + Kiln + memory, see
+// sim/node.hpp) and sim::Cluster (N nodes on one shared clock/event queue
+// with sharded service routing, see topo/cluster.hpp). `System` is a
+// 1-node cluster — every pre-cluster call site keeps compiling and its
+// output stays byte-identical.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "cache/hierarchy.hpp"
-#include "check/persist_order_checker.hpp"
-#include "common/config.hpp"
-#include "common/event_queue.hpp"
-#include "common/stat_handle.hpp"
-#include "common/stats.hpp"
-#include "core/core.hpp"
-#include "core/trace.hpp"
-#include "mem/memory_system.hpp"
-#include "persist/domain.hpp"
-#include "persist/kiln_unit.hpp"
-#include "persist/policy.hpp"
-#include "recovery/images.hpp"
-#include "recovery/recovery.hpp"
-#include "sim/metrics.hpp"
-#include "txcache/tx_cache.hpp"
+#include "topo/cluster.hpp"
 
 namespace ntcsim::sim {
 
-struct SystemOptions {
-  /// SP only: emit the clwb/sfence/pcommit ordering (true, Fig. 2b) or the
-  /// deliberately broken unordered variant (false, Fig. 2c) used as the
-  /// negative control in crash tests.
-  bool sp_ordered = true;
-  /// Never install the persistence-order checker, ignoring both cfg.check
-  /// and the NTCSIM_CHECK env override. The fault-injection campaign sets
-  /// this: its verdicts come from the atomicity oracle, and it needs the
-  /// CheckSink taps free for its own event recorder (tap_events()).
-  bool force_check_off = false;
-};
-
-class System {
- public:
-  explicit System(const SystemConfig& cfg, SystemOptions opts = {},
-                  persist::KilnConfig kiln_cfg = {});
-
-  /// Install a workload trace on one core. Applies the SP transform when
-  /// the configured domain asks for software logging.
-  void load_trace(CoreId core, core::Trace trace);
-
-  /// Run until every core has retired its trace and all buffered effects
-  /// (write-backs, NTC drains, flushes) have reached memory.
-  void run(Cycle max_cycles = 2'000'000'000ULL);
-  /// Advance exactly `cycles` (crash-injection runs). Returns finished().
-  bool run_for(Cycle cycles);
-  bool finished() const;
-  Cycle now() const { return now_; }
-
-  Metrics metrics() const;
-  /// Merged per-core request-latency histogram since the last
-  /// reset_stats() (timeline windows diff successive snapshots).
-  Histogram request_latency_histogram() const;
-  /// Zero every statistic and start a new measurement epoch (used between
-  /// the setup and measured phases; caches and structures stay warm).
-  void reset_stats();
-  StatSet& stats() { return stats_; }
-  const StatSet& stats() const { return stats_; }
-  const SystemConfig& config() const { return cfg_; }
-
-  /// Simulate a power failure at the current cycle and run the configured
-  /// domain's recovery procedure over what is durable.
-  recovery::WordImage crash_and_recover() const;
-
-  core::Core& core(CoreId c) { return *cores_[c]; }
-  txcache::TxCache* ntc(CoreId c) {
-    return ntcs_.empty() ? nullptr : ntcs_[c].get();
-  }
-  cache::Hierarchy& hierarchy() { return *hier_; }
-  mem::MemorySystem& memory() { return *mem_; }
-  const persist::PersistenceDomain& domain() const { return *domain_; }
-  const recovery::DurableState* durable() const { return durable_.get(); }
-  /// The online persistence-order checker, or null when cfg.check (after
-  /// the NTCSIM_CHECK env override) resolved to off or the domain declares
-  /// no rules.
-  const check::PersistOrderChecker* checker() const { return checker_.get(); }
-  /// Route every component's check-event tap to an external sink (the
-  /// fault-injection CrashPlanner records hazard cycles this way). Only
-  /// legal when no checker was installed — components hold a single
-  /// CheckSink*, so run such systems with check off.
-  void tap_events(check::CheckSink* sink);
-  /// The live cycle counter, for external sinks that stamp events
-  /// themselves (mirrors checker_->set_clock wiring).
-  const Cycle* cycle_counter() const { return &now_; }
-  /// Event-queue introspection (cost-regression guards count pushes).
-  const EventQueue& events() const { return events_; }
-
- private:
-  void step_();
-
-  SystemConfig cfg_;
-  SystemOptions opts_;
-  std::unique_ptr<persist::PersistenceDomain> domain_;
-  persist::Policy policy_;  ///< == domain_->policy(), cached.
-  StatSet stats_;
-  EventQueue events_;
-  std::unique_ptr<mem::MemorySystem> mem_;
-  std::unique_ptr<recovery::DurableState> durable_;
-  std::unique_ptr<recovery::VolatileImage> vimage_;
-  std::unique_ptr<cache::Hierarchy> hier_;
-  std::vector<std::unique_ptr<txcache::TxCache>> ntcs_;
-  std::unique_ptr<persist::KilnUnit> kiln_;
-  std::vector<std::unique_ptr<core::Core>> cores_;
-  std::unique_ptr<check::PersistOrderChecker> checker_;
-  std::vector<core::Trace> traces_;
-  Cycle now_ = 0;
-  Cycle stats_epoch_ = 0;  ///< Cycle at the last reset_stats().
-
-  // metrics() sources, resolved once at construction (the PR 2 stat-handle
-  // pattern; components registered all of these in their constructors, so
-  // resolving here creates nothing new). Per-core vectors are indexed by
-  // CoreId.
-  std::vector<CounterHandle> m_retired_, m_txs_, m_ntc_stalls_;
-  std::vector<AccumulatorHandle> m_pload_lat_, m_req_lat_;
-  std::vector<HistogramHandle> m_pload_hist_, m_req_hist_;
-  std::vector<CounterHandle> m_ntc_spills_;  ///< One per NTC; empty otherwise.
-  CounterHandle m_llc_hits_, m_llc_misses_, m_llc_wb_dropped_;
-  CounterHandle m_nvm_writes_, m_nvm_reads_, m_dram_writes_;
-};
+using System = Cluster;
 
 }  // namespace ntcsim::sim

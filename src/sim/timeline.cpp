@@ -26,12 +26,15 @@ std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
     const Histogram window = cur.diff_since(prev_hist);
     if (window.total() > 0) s.window_req_p99 = window.percentile_edge(99.0);
     prev_hist = cur;
-    for (CoreId c = 0; c < sys.config().cores; ++c) {
-      if (sys.ntc(c) != nullptr) {
-        s.ntc_occupancy = std::max(s.ntc_occupancy, sys.ntc(c)->occupancy());
+    for (NodeId n = 0; n < sys.nodes(); ++n) {
+      for (CoreId c = 0; c < sys.config().cores; ++c) {
+        if (sys.ntc(n, c) != nullptr) {
+          s.ntc_occupancy =
+              std::max(s.ntc_occupancy, sys.ntc(n, c)->occupancy());
+        }
       }
+      s.nvm_write_queue += sys.node(n).memory().nvm_pending_writes();
     }
-    s.nvm_write_queue = sys.memory().nvm_pending_writes();
     samples.push_back(s);
   }
   return samples;

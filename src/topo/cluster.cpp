@@ -1,0 +1,161 @@
+#include "topo/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/profiler.hpp"
+
+namespace ntcsim::sim {
+
+Cluster::Cluster(const SystemConfig& cfg, SystemOptions opts,
+                 persist::KilnConfig kiln_cfg)
+    : cfg_(cfg) {
+  const unsigned n = std::max(1u, cfg_.topo.nodes);
+  nodes_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(cfg_, i, n, events_, &now_, opts,
+                                            kiln_cfg));
+  }
+}
+
+void Cluster::load_trace(NodeId node, CoreId core, core::Trace trace) {
+  NTC_ASSERT(node < nodes_.size(), "trace loaded on a nonexistent node");
+  nodes_[node]->load_trace(core, std::move(trace));
+}
+
+void Cluster::load_trace(CoreId core, core::Trace trace) {
+  load_trace(0, core, std::move(trace));
+}
+
+void Cluster::step_() {
+  {
+    NTC_PROF_SCOPE("step.events");
+    events_.drain_until(now_);
+  }
+  for (auto& n : nodes_) n->tick(now_);
+  ++now_;
+}
+
+bool Cluster::finished() const {
+  for (const auto& n : nodes_) {
+    if (!n->drained()) return false;
+  }
+  return events_.empty();
+}
+
+RunStatus Cluster::run(Cycle max_cycles) {
+  const Cycle limit = now_ + max_cycles;
+  while (!finished()) {
+    if (now_ >= limit) {
+      timed_out_ = true;
+      return RunStatus::kCycleCap;
+    }
+    step_();
+  }
+  return RunStatus::kFinished;
+}
+
+bool Cluster::run_for(Cycle cycles) {
+  const Cycle until = now_ + cycles;
+  while (now_ < until && !finished()) step_();
+  return finished();
+}
+
+recovery::WordImage Cluster::crash_and_recover(NodeId node) const {
+  NTC_ASSERT(node < nodes_.size(), "crash on a nonexistent node");
+  return nodes_[node]->crash_and_recover();
+}
+
+void Cluster::reset_stats() {
+  for (auto& n : nodes_) n->reset_stats();
+  stats_epoch_ = now_;
+}
+
+Metrics Cluster::metrics() const {
+  const Cycle cycles = now_ - stats_epoch_;
+  if (nodes_.size() == 1) {
+    // The pre-cluster path, bit-for-bit: no aggregation arithmetic runs.
+    return nodes_[0]->metrics(cycles);
+  }
+
+  Metrics m;
+  m.cycles = cycles;
+  NodeRaw t;
+  for (const auto& n : nodes_) {
+    const NodeRaw r = n->raw();
+    t.retired += r.retired;
+    t.txs += r.txs;
+    t.llc_hits += r.llc_hits;
+    t.llc_misses += r.llc_misses;
+    t.nvm_writes += r.nvm_writes;
+    t.nvm_reads += r.nvm_reads;
+    t.dram_writes += r.dram_writes;
+    t.llc_wb_dropped += r.llc_wb_dropped;
+    t.ntc_spills += r.ntc_spills;
+    t.ntc_stalls += r.ntc_stalls;
+    t.pload_sum += r.pload_sum;
+    t.pload_n += r.pload_n;
+    t.req_sum += r.req_sum;
+    t.req_n += r.req_n;
+    t.pload_hist.merge(r.pload_hist);
+    t.req_hist.merge(r.req_hist);
+    t.check_violations += r.check_violations;
+  }
+
+  m.retired_uops = t.retired;
+  m.committed_txs = t.txs;
+  if (m.cycles > 0) {
+    m.ipc = static_cast<double>(m.retired_uops) / static_cast<double>(m.cycles);
+    m.tx_per_kilocycle = 1000.0 * static_cast<double>(m.committed_txs) /
+                         static_cast<double>(m.cycles);
+  }
+  if (t.llc_hits + t.llc_misses > 0) {
+    m.llc_miss_rate = static_cast<double>(t.llc_misses) /
+                      static_cast<double>(t.llc_hits + t.llc_misses);
+  }
+  m.nvm_writes = t.nvm_writes;
+  m.nvm_reads = t.nvm_reads;
+  m.dram_writes = t.dram_writes;
+  m.llc_wb_dropped = t.llc_wb_dropped;
+  m.ntc_spills = t.ntc_spills;
+  if (t.pload_n > 0) {
+    m.pload_latency = t.pload_sum / static_cast<double>(t.pload_n);
+  }
+  if (t.pload_hist.total() > 0) {
+    m.pload_latency_p50 = t.pload_hist.percentile_edge(50.0);
+    m.pload_latency_p99 = t.pload_hist.percentile_edge(99.0);
+  }
+  if (m.cycles > 0) {
+    const std::uint64_t total_cores =
+        static_cast<std::uint64_t>(cfg_.cores) * nodes_.size();
+    m.ntc_stall_frac = static_cast<double>(t.ntc_stalls) /
+                       static_cast<double>(m.cycles * total_cores);
+  }
+  m.requests = t.req_n;
+  if (t.req_n > 0) m.req_latency = t.req_sum / static_cast<double>(t.req_n);
+  if (t.req_hist.total() > 0) {
+    m.req_latency_p50 = t.req_hist.percentile_edge(50.0);
+    m.req_latency_p95 = t.req_hist.percentile_edge(95.0);
+    m.req_latency_p99 = t.req_hist.percentile_edge(99.0);
+    m.req_latency_p999 = t.req_hist.percentile_edge(99.9);
+  }
+  m.check_violations = t.check_violations;
+
+  m.per_node.reserve(nodes_.size());
+  for (const auto& n : nodes_) m.per_node.push_back(n->metrics(cycles));
+  m.xshard_requests = route_.xshard;
+  if (route_.xshard > 0) {
+    m.xshard_fwd_delay = static_cast<double>(route_.fwd_cycles) /
+                         static_cast<double>(route_.xshard);
+  }
+  return m;
+}
+
+Histogram Cluster::request_latency_histogram() const {
+  Histogram merged;
+  for (const auto& n : nodes_) merged.merge(n->request_latency_histogram());
+  return merged;
+}
+
+}  // namespace ntcsim::sim

@@ -1,0 +1,129 @@
+// A cluster of sim::Nodes on one shared clock and event queue — the
+// scale-out layer above the paper's single-socket machine. Node 0 of a
+// 1-node cluster is the pre-cluster System, cycle-for-cycle; `sim::System`
+// is now an alias for this class, and the single-node member functions
+// below (core(), ntc(), checker(), ...) keep every existing call site
+// compiling by delegating to node 0.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/node.hpp"
+#include "topo/interconnect.hpp"
+
+namespace ntcsim::sim {
+
+/// How a run() ended. kCycleCap means the simulation was cut off before
+/// it drained — metrics describe a truncated run and callers must treat
+/// the result as a failure, not a slow success.
+enum class RunStatus : std::uint8_t {
+  kFinished,  ///< Every node drained; metrics are complete.
+  kCycleCap,  ///< Hit max_cycles with work outstanding (deadlock or
+              ///< under-budgeted run).
+};
+
+constexpr const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kFinished: return "finished";
+    case RunStatus::kCycleCap: return "cycle-cap";
+  }
+  return "?";
+}
+
+class Cluster {
+ public:
+  explicit Cluster(const SystemConfig& cfg, SystemOptions opts = {},
+                   persist::KilnConfig kiln_cfg = {});
+
+  unsigned nodes() const { return static_cast<unsigned>(nodes_.size()); }
+  Node& node(NodeId n) { return *nodes_[n]; }
+  const Node& node(NodeId n) const { return *nodes_[n]; }
+
+  /// Install a workload trace on one core of one node.
+  void load_trace(NodeId node, CoreId core, core::Trace trace);
+  /// Node-0 compatibility overload (the whole machine, pre-cluster).
+  void load_trace(CoreId core, core::Trace trace);
+
+  /// Run until every node drained, or until `max_cycles` more cycles have
+  /// elapsed — whichever comes first. A kCycleCap return (also latched in
+  /// timed_out()) means the run was truncated; drivers fail loudly on it.
+  RunStatus run(Cycle max_cycles = 2'000'000'000ULL);
+  /// Advance exactly `cycles` (crash-injection runs). Returns finished().
+  bool run_for(Cycle cycles);
+  bool finished() const;
+  /// A previous run() hit its cycle cap before the cluster drained.
+  bool timed_out() const { return timed_out_; }
+  Cycle now() const { return now_; }
+
+  /// Aggregate metrics across nodes. Single-node clusters return node 0's
+  /// metrics verbatim (per_node stays empty); multi-node clusters compute
+  /// cluster-wide sums/rates and attach a per-node breakdown plus the
+  /// routing stats recorded via note_route_stats().
+  Metrics metrics() const;
+  /// Merged request-latency histogram across every node's cores since the
+  /// last reset_stats() (timeline windows diff successive snapshots).
+  Histogram request_latency_histogram() const;
+  /// Zero every statistic on every node and start a new measurement epoch
+  /// (used between the setup and measured phases; caches stay warm).
+  void reset_stats();
+  StatSet& stats() { return nodes_[0]->stats(); }
+  const StatSet& stats() const { return nodes_[0]->stats(); }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Interconnect routing stats of the measured request stream (the
+  /// harness records them after stamping arrivals); surfaced in metrics().
+  void note_route_stats(const topo::RouteStats& rs) { route_ = rs; }
+
+  /// Simulate a power failure at the current cycle on one node and run the
+  /// configured domain's recovery procedure over what is durable there.
+  /// The other nodes are unaffected (partial failure).
+  recovery::WordImage crash_and_recover(NodeId node) const;
+  recovery::WordImage crash_and_recover() const { return crash_and_recover(0); }
+
+  // Node-0 compatibility surface (the pre-cluster System API).
+  core::Core& core(CoreId c) { return nodes_[0]->core(c); }
+  txcache::TxCache* ntc(CoreId c) { return nodes_[0]->ntc(c); }
+  txcache::TxCache* ntc(NodeId n, CoreId c) { return nodes_[n]->ntc(c); }
+  cache::Hierarchy& hierarchy() { return nodes_[0]->hierarchy(); }
+  mem::MemorySystem& memory() { return nodes_[0]->memory(); }
+  const persist::PersistenceDomain& domain() const {
+    return nodes_[0]->domain();
+  }
+  const recovery::DurableState* durable() const {
+    return nodes_[0]->durable();
+  }
+  const check::PersistOrderChecker* checker() const {
+    return nodes_[0]->checker();
+  }
+  const check::PersistOrderChecker* checker(NodeId n) const {
+    return nodes_[n]->checker();
+  }
+  /// Route one node's component check-event taps to an external sink (the
+  /// fault-injection CrashPlanner). See Node::tap_events.
+  void tap_events(NodeId node, check::CheckSink* sink) {
+    nodes_[node]->tap_events(sink);
+  }
+  void tap_events(check::CheckSink* sink) { tap_events(0, sink); }
+  /// The live cycle counter, for external sinks that stamp events
+  /// themselves (mirrors the checker's set_clock wiring).
+  const Cycle* cycle_counter() const { return &now_; }
+  /// Event-queue introspection (cost-regression guards count pushes).
+  const EventQueue& events() const { return events_; }
+
+ private:
+  void step_();
+
+  SystemConfig cfg_;
+  EventQueue events_;
+  Cycle now_ = 0;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Cycle stats_epoch_ = 0;  ///< Cycle at the last reset_stats().
+  bool timed_out_ = false;
+  topo::RouteStats route_;
+};
+
+}  // namespace ntcsim::sim

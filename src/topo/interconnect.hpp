@@ -1,0 +1,68 @@
+// Node-to-node fabric model for sim::Cluster, and the request router that
+// shards the service-mode arrival stream across nodes.
+//
+// The model is *stamp-time*: cross-shard interconnect delays are computed
+// deterministically while the arrival stream is being prepared (before the
+// cycle loop starts) and written onto each request's kTxBegin op as
+// net_fwd / net_rsp. The core's frontend then refuses to fetch a request
+// before arrival + net_fwd, and adds net_rsp to its recorded latency — so
+// the network round trip shows up in the tail percentiles without the
+// cycle loop simulating packets. Every directed link serializes messages
+// in ingress order, so a hot link builds real queueing delay.
+//
+// Determinism: the whole routing pass is a pure function of (traces, topo,
+// ghz, seed) — cluster cells stay bit-identical under `--jobs=N`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/trace.hpp"
+
+namespace ntcsim::topo {
+
+/// The fabric: `nodes`^2 directed links, each with a hop latency and a
+/// per-message serialization time derived from TopoConfig at `ghz`.
+class Interconnect {
+ public:
+  Interconnect(unsigned nodes, const TopoConfig& topo, double ghz);
+
+  /// Send one message src -> dst, earliest at `ready`. The message queues
+  /// behind earlier traffic on the same directed link, serializes, then
+  /// flies one hop; returns its delivery cycle. src == dst is free.
+  Cycle deliver(NodeId src, NodeId dst, Cycle ready);
+
+  Cycle hop_cycles() const { return hop_; }
+  Cycle serialize_cycles() const { return ser_; }
+
+ private:
+  unsigned nodes_;
+  Cycle hop_ = 0;
+  Cycle ser_ = 0;
+  std::vector<Cycle> link_free_;  ///< Next-free cycle per directed link.
+};
+
+/// Routing outcome of one measured request stream.
+struct RouteStats {
+  std::uint64_t requests = 0;  ///< Stamped open-loop requests, all nodes.
+  std::uint64_t xshard = 0;    ///< Requests that crossed a shard boundary.
+  std::uint64_t fwd_cycles = 0;  ///< Sum of net_fwd over xshard requests.
+  std::uint64_t rsp_cycles = 0;  ///< Sum of net_rsp over xshard requests.
+};
+
+/// Shard the stamped arrival streams of a cluster: every request enters
+/// the cluster at a key-interleaved entry node (uniform over nodes, drawn
+/// from a SplitMix64 stream seeded by `seed`) and is served by the node
+/// whose trace carries it (its home shard). Cross-shard requests get the
+/// forward delay (entry->home link queueing + serialization + hop) and
+/// response delay (serialization + hop) written onto their kTxBegin op.
+/// `node_core_traces[node][core]` may be null (core idle on that node).
+/// Requests are processed in global ingress order (arrival cycle, ties by
+/// node then core then trace order). No-op for a 1-node cluster.
+RouteStats route_service_arrivals(
+    const std::vector<std::vector<core::Trace*>>& node_core_traces,
+    const TopoConfig& topo, double ghz, std::uint64_t seed);
+
+}  // namespace ntcsim::topo

@@ -9,12 +9,15 @@ namespace ntcsim::workload {
 
 std::size_t stamp_service_arrivals(core::Trace& trace,
                                    const ServiceConfig& service, CoreId core,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, NodeId node) {
   if (!service.enabled || !service.open_loop) return 0;
   NTC_ASSERT(service.rate > 0.0, "service mode requires a positive rate");
-  // Distinct SplitMix64 stream per (seed, core); golden-ratio mixing keeps
-  // adjacent seeds/cores uncorrelated (same idiom as the generators).
-  Rng rng(seed * 0x9e3779b97f4a7c15ULL + (core + 1) * 0xd1b54a32d192ed03ULL);
+  // Distinct SplitMix64 stream per (seed, node, core); golden-ratio mixing
+  // keeps adjacent seeds/nodes/cores uncorrelated (same idiom as the
+  // generators). The node term vanishes at node 0, so single-node streams
+  // are bit-identical to the pre-cluster simulator.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + (core + 1) * 0xd1b54a32d192ed03ULL +
+          node * 0x94d049bb133111ebULL);
   const double mean_gap = 1000.0 / service.rate;  // cycles per request
   double t = 0.0;
   std::size_t stamped = 0;

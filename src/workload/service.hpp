@@ -25,9 +25,10 @@ namespace ntcsim::workload {
 /// are exponential with mean 1000/rate cycles when service.poisson is set
 /// (a Poisson arrival process), else exactly 1000/rate. No-op (returns 0)
 /// when service mode is off or closed-loop. Returns the number of requests
-/// stamped.
+/// stamped. In a multi-node cluster each (node, core) pair gets its own
+/// stream; node 0 reproduces the pre-cluster (seed, core) stream exactly.
 std::size_t stamp_service_arrivals(core::Trace& trace,
                                    const ServiceConfig& service, CoreId core,
-                                   std::uint64_t seed);
+                                   std::uint64_t seed, NodeId node = 0);
 
 }  // namespace ntcsim::workload

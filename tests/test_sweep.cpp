@@ -186,6 +186,42 @@ TEST(RunSweep, ServiceRateSweepIsBitIdenticalAcrossJobs) {
   }
 }
 
+// Cluster cells are still independent pure functions of their spec:
+// sharded multi-node simulations must be bit-identical across any
+// --jobs value, exactly like single-node cells.
+TEST(RunSweep, MultiNodeCellsAreBitIdenticalAcrossJobs) {
+  const ExperimentOptions opts = quick_opts();
+  std::vector<JobSpec> specs;
+  for (unsigned nodes : {1u, 3u}) {
+    JobSpec spec;
+    spec.mech = Mechanism::kTc;
+    spec.wl = WorkloadKind::kHashtable;
+    spec.cfg = SystemConfig::experiment();
+    spec.cfg.topo.nodes = nodes;
+    spec.cfg.service.enabled = true;
+    spec.cfg.service.rate = 2.0;
+    spec.cfg.service.requests = 25;
+    spec.opts = opts;
+    specs.push_back(spec);
+  }
+  const std::vector<Metrics> serial = run_sweep(specs, 1);
+  const std::vector<Metrics> parallel = run_sweep(specs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const std::string label = "nodes point " + std::to_string(i);
+    expect_identical(serial[i], parallel[i], label.c_str());
+    EXPECT_EQ(serial[i].xshard_requests, parallel[i].xshard_requests) << label;
+    ASSERT_EQ(serial[i].per_node.size(), parallel[i].per_node.size()) << label;
+    for (std::size_t n = 0; n < serial[i].per_node.size(); ++n) {
+      expect_identical(serial[i].per_node[n], parallel[i].per_node[n],
+                       (label + " node " + std::to_string(n)).c_str());
+    }
+  }
+  // The 3-node cell really sharded: breakdown present, requests served.
+  ASSERT_EQ(serial[1].per_node.size(), 3u);
+  EXPECT_GT(serial[1].requests, 0u);
+}
+
 TEST(ParseBenchArgs, JobsFlag) {
   char prog[] = "bench";
   char jobs[] = "--jobs=6";

@@ -129,6 +129,7 @@ def tiny_args(args):
 def smoke_commands(root, ntcsim):
     failures = []
     ran = 0
+    ran_nodes = 0  # documented --nodes (cluster) invocations exercised
     with tempfile.TemporaryDirectory() as tmp:
         for doc in SMOKE_DOCS:
             path = os.path.join(root, doc)
@@ -154,6 +155,8 @@ def smoke_commands(root, ntcsim):
                 if args is None:
                     continue
                 ran += 1
+                if any(a.startswith("--nodes") for a in args):
+                    ran_nodes += 1
                 proc = subprocess.run([ntcsim] + args, cwd=tmp,
                                       stdout=subprocess.PIPE,
                                       stderr=subprocess.STDOUT, timeout=600)
@@ -171,6 +174,9 @@ def smoke_commands(root, ntcsim):
     if ran == 0:
         failures.append("smoke: no ntcsim commands found in %s -- the "
                         "extractor or the docs broke" % (SMOKE_DOCS,))
+    elif ran_nodes == 0:
+        failures.append("smoke: no documented --nodes invocation was "
+                        "smoke-run -- the cluster docs lost their example")
     return failures, ran
 
 

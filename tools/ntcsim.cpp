@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -161,19 +162,19 @@ bool parse_args(int argc, char** argv, Cli& cli) {
     } else if (a == "--check") {
       cli.cfg.check = CheckMode::kCollect;
     } else if (a.rfind("--check=", 0) == 0) {
-      const std::string mode = value();
-      if (mode == "off") {
-        cli.cfg.check = CheckMode::kOff;
-      } else if (mode == "collect") {
-        cli.cfg.check = CheckMode::kCollect;
-      } else if (mode == "fatal") {
-        cli.cfg.check = CheckMode::kFatal;
-      } else {
+      if (!sim::parse_check_mode(value(), cli.cfg.check)) {
         std::fprintf(stderr,
                      "unknown --check mode \"%s\" (off | collect | fatal)\n",
-                     mode.c_str());
+                     value().c_str());
         return false;
       }
+    } else if (a.rfind("--nodes=", 0) == 0) {
+      const unsigned long n = std::stoul(value());
+      if (n == 0) {
+        std::fprintf(stderr, "--nodes must be positive\n");
+        return false;
+      }
+      cli.cfg.topo.nodes = static_cast<unsigned>(n);
     } else if (a == "--serve") {
       cli.cfg.service.enabled = true;
     } else if (a.rfind("--rate=", 0) == 0) {
@@ -316,7 +317,13 @@ int run_matrix_mode(const Cli& cli) {
   opts.scale = cli.scale;
   opts.seed = cli.params.seed;
   opts.jobs = cli.jobs;
-  const sim::Matrix matrix = sim::run_matrix(cli.cfg, opts);
+  sim::Matrix matrix;
+  try {
+    matrix = sim::run_matrix(cli.cfg, opts);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "ntcsim: matrix aborted: %s\n", e.what());
+    return 4;
+  }
   std::uint64_t check_violations = 0;
   for (const auto& [wl, row] : matrix) {
     for (const auto& [mech, m] : row) check_violations += m.check_violations;
@@ -342,24 +349,52 @@ int run_matrix_mode(const Cli& cli) {
 }
 
 int run(const Cli& cli) {
+  const unsigned nodes = std::max(1u, cli.cfg.topo.nodes);
+  // The atomicity oracle (--crash-at) follows node 0, where the crash is
+  // injected; other nodes' shards run without a journal.
   recovery::Journal journal(cli.cfg.cores);
-  workload::SimHeap heap(cli.cfg.address_space, cli.cfg.cores);
-  std::vector<workload::TraceBundle> bundles;
-  for (CoreId c = 0; c < cli.cfg.cores; ++c) {
-    bundles.push_back(
-        workload::generate_phased(cli.params, c, heap, &journal));
-    workload::stamp_service_arrivals(bundles[c].measured, cli.cfg.service, c,
-                                     cli.params.seed);
+  std::vector<std::vector<workload::TraceBundle>> bundles(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    workload::SimHeap heap(cli.cfg.address_space, cli.cfg.cores);
+    workload::WorkloadParams p = cli.params;
+    p.seed = cli.params.seed + n * 0x9e3779b9ULL;
+    for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+      bundles[n].push_back(workload::generate_phased(
+          p, c, heap, n == 0 ? &journal : nullptr));
+      workload::stamp_service_arrivals(bundles[n][c].measured,
+                                       cli.cfg.service, c, cli.params.seed, n);
+    }
+  }
+  topo::RouteStats route;
+  if (nodes > 1 && cli.cfg.service.enabled && cli.cfg.service.open_loop) {
+    std::vector<std::vector<core::Trace*>> measured(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+      for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+        measured[n].push_back(&bundles[n][c].measured);
+      }
+    }
+    route = topo::route_service_arrivals(measured, cli.cfg.topo, cli.cfg.ghz,
+                                         cli.params.seed);
   }
 
   sim::System sys(cli.cfg);
-  for (CoreId c = 0; c < cli.cfg.cores; ++c) {
-    sys.load_trace(c, std::move(bundles[c].setup));
+  for (NodeId n = 0; n < nodes; ++n) {
+    for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+      sys.load_trace(n, c, std::move(bundles[n][c].setup));
+    }
   }
-  sys.run();
+  if (sys.run() != sim::RunStatus::kFinished) {
+    std::fprintf(stderr,
+                 "ntcsim: setup phase hit the cycle cap — truncated run, "
+                 "results discarded\n");
+    return 4;
+  }
   sys.reset_stats();
-  for (CoreId c = 0; c < cli.cfg.cores; ++c) {
-    sys.load_trace(c, std::move(bundles[c].measured));
+  sys.note_route_stats(route);
+  for (NodeId n = 0; n < nodes; ++n) {
+    for (CoreId c = 0; c < cli.cfg.cores; ++c) {
+      sys.load_trace(n, c, std::move(bundles[n][c].measured));
+    }
   }
 
   if (cli.crash_at > 0) {
@@ -385,7 +420,12 @@ int run(const Cli& cli) {
     return 2;
   }
 
-  sys.run();
+  if (sys.run() != sim::RunStatus::kFinished) {
+    std::fprintf(stderr,
+                 "ntcsim: measured phase hit the cycle cap — truncated run, "
+                 "results discarded\n");
+    return 4;
+  }
   const sim::Metrics m = sys.metrics();
 
   const std::string label = std::string(to_string(cli.workload)) + "/" +
@@ -426,17 +466,38 @@ int run(const Cli& cli) {
                   static_cast<unsigned long long>(m.req_latency_p99),
                   static_cast<unsigned long long>(m.req_latency_p999));
     }
+    if (!m.per_node.empty()) {
+      std::printf("  cluster              %u nodes, %llu cross-shard"
+                  " requests (avg fwd delay %.1f cy)\n",
+                  sys.nodes(),
+                  static_cast<unsigned long long>(m.xshard_requests),
+                  m.xshard_fwd_delay);
+      for (std::size_t n = 0; n < m.per_node.size(); ++n) {
+        const sim::Metrics& pm = m.per_node[n];
+        std::printf("    node %zu: %.3f tx/kcycle, %llu NVM writes, "
+                    "%llu requests (p99<=%llu)\n",
+                    n, pm.tx_per_kilocycle,
+                    static_cast<unsigned long long>(pm.nvm_writes),
+                    static_cast<unsigned long long>(pm.requests),
+                    static_cast<unsigned long long>(pm.req_latency_p99));
+      }
+    }
   }
   if (cli.stats) {
     std::cout << "\n-- raw statistics --\n";
     sys.stats().dump(std::cout);
   }
   if (sys.checker() != nullptr) {
+    std::uint64_t violations = 0;
+    for (NodeId n = 0; n < sys.nodes(); ++n) {
+      violations += sys.checker(n)->violation_count();
+    }
     std::fprintf(stderr, "persistence-order checker: %llu violation(s)\n",
-                 static_cast<unsigned long long>(
-                     sys.checker()->violation_count()));
-    if (sys.checker()->violation_count() > 0) {
-      sys.checker()->report(stderr);
+                 static_cast<unsigned long long>(violations));
+    if (violations > 0) {
+      for (NodeId n = 0; n < sys.nodes(); ++n) {
+        if (sys.checker(n)->violation_count() > 0) sys.checker(n)->report(stderr);
+      }
       return 3;
     }
   }
