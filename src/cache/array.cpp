@@ -15,7 +15,7 @@ CacheArray::CacheArray(const CacheConfig& cfg)
   tags_.assign(sets_ * ways_, kNoTag);
 }
 
-Line* CacheArray::lookup(Addr line_addr, bool touch) {
+NTC_HOT Line* CacheArray::lookup(Addr line_addr, bool touch) {
   const std::size_t base = set_of(line_addr) * ways_;
   const Addr* tags = tags_.data() + base;
   for (unsigned w = 0; w < ways_; ++w) {

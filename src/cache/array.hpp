@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/hot.hpp"
 #include "common/types.hpp"
 
 namespace ntcsim::cache {
@@ -40,7 +41,7 @@ class CacheArray {
   explicit CacheArray(const CacheConfig& cfg);
 
   /// Hit lookup; `touch` updates LRU. Returns nullptr on miss.
-  Line* lookup(Addr line_addr, bool touch = true);
+  NTC_HOT Line* lookup(Addr line_addr, bool touch = true);
   const Line* peek(Addr line_addr) const;
 
   /// Allocate `line_addr`, evicting the LRU non-pinned way if needed.

@@ -1,0 +1,20 @@
+// NTC_HOT — marks a function as per-cycle hot path.
+//
+// Two consumers:
+//  * tools/ntclint's hot-alloc rule extends its tick/step/advance name
+//    heuristic to any function carrying NTC_HOT in its signature, so
+//    helpers called every cycle (drain loops, probe paths) get the same
+//    no-allocation discipline as the tick functions themselves.
+//  * Under Clang the marker lowers to an `annotate` attribute, which the
+//    ASTMatchers backend matches type-accurately; elsewhere it expands
+//    to nothing and costs nothing.
+//
+// Usage (on the declaration):
+//   NTC_HOT void drain_one(Cycle now);
+#pragma once
+
+#if defined(__clang__)
+#define NTC_HOT __attribute__((annotate("ntc_hot")))
+#else
+#define NTC_HOT
+#endif

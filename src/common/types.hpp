@@ -1,4 +1,7 @@
 // Fundamental identifiers and enums shared by every ntcsim module.
+// ntclint-suppress-file(mechanism-seam): enum home — to_string() over the
+// built-in ids is naming, not mechanism dispatch; behaviour routes through
+// persist::DomainRegistry.
 #pragma once
 
 #include <cstdint>

@@ -6,7 +6,7 @@
 
 namespace ntcsim::mem {
 
-Cycle Bank::access(Cycle now, std::uint64_t row, bool is_write) {
+NTC_HOT Cycle Bank::access(Cycle now, std::uint64_t row, bool is_write) {
   NTC_ASSERT(ready_at(now), "bank accessed while busy");
   const bool hit = row_hit(row);
   unsigned latency = hit ? timing_->row_hit : timing_->row_miss;

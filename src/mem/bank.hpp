@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/config.hpp"
+#include "common/hot.hpp"
 #include "common/types.hpp"
 
 namespace ntcsim::mem {
@@ -19,7 +20,7 @@ class Bank {
 
   /// Begin an access at `now` (requires ready_at(now)); returns the cycle
   /// at which the array access completes (excluding data-bus transfer).
-  Cycle access(Cycle now, std::uint64_t row, bool is_write);
+  NTC_HOT Cycle access(Cycle now, std::uint64_t row, bool is_write);
 
   /// Make the bank unavailable until `until` (refresh); closes the row.
   void block_until(Cycle until);

@@ -21,6 +21,7 @@ namespace {
 /// request's durability point (array completion, or queue acceptance on an
 /// ADR platform).
 void emit_durable_words(check::CheckSink* sink, const MemRequest& req) {
+  if (sink == nullptr) return;
   check::CheckEvent ev;
   ev.kind = check::EventKind::kNvmDurable;
   ev.core = req.core;

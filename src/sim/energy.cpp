@@ -1,4 +1,7 @@
 #include "sim/energy.hpp"
+// ntclint-suppress-file(hot-stats): post-run energy model — runs once per
+// finished cell over the final StatSet, never inside the simulated loop, so
+// by-name counter reads are the right interface here.
 
 #include <string>
 

@@ -48,6 +48,7 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
     params.ops = cfg.service.requests;
   }
 
+  // ntclint-suppress(determinism): self-profiling wall time, never simulated state
   const auto cell_start = std::chrono::steady_clock::now();
   const unsigned nodes = std::max(1u, cfg.topo.nodes);
   // Per-node generation: each node is its own shard with its own heap and
@@ -117,6 +118,7 @@ Metrics run_cell(Mechanism mech, WorkloadKind wl, const SystemConfig& base,
     require_finished("measured");
   }
   if (Profiler::enabled()) {
+    // ntclint-suppress(determinism): self-profiling wall time, never simulated state
     const auto cell_end = std::chrono::steady_clock::now();
     Profiler::add_cell(
         std::string(mechanism_label(mech)) + "/" + std::string(to_string(wl)),

@@ -1,4 +1,6 @@
 #include "sim/profiler.hpp"
+// ntclint-suppress-file(determinism): host wall-clock reads are this
+// file's purpose (self-profiling); outputs never feed simulated state.
 
 #include <cctype>
 #include <fstream>

@@ -1,5 +1,8 @@
 // Self-performance profiler for the simulator itself (not the simulated
 // machine): scoped wall-clock timers per component/phase plus per-cell
+// ntclint-suppress-file(determinism): the whole point of this file is
+// reading the host wall clock; results feed BENCH_selfperf.json only and
+// never touch simulated state.
 // wall times, reported as a machine-readable BENCH_selfperf.json so CI can
 // track the simulator's cells/sec trajectory across commits.
 //

@@ -1,0 +1,11 @@
+// ntclint fixture: pure assert conditions (comparisons only) must not be
+// flagged, including ==, <=, >= and != spellings.
+#include <cassert>
+
+int peek(const int* stack, int top, int limit) {
+  assert(top >= 0);
+  assert(top != limit);
+  assert(stack != nullptr && top <= limit);
+  assert(limit == 64 || limit == 128);
+  return stack[top];
+}

@@ -1,0 +1,13 @@
+// ntclint fixture: raw abort() and side-effectful assert conditions are
+// flagged.
+#include <cassert>
+#include <cstdlib>
+
+int pop_count = 0;
+
+int pop(int* stack, int& top) {
+  if (top == 0) abort();            // raw abort: no file/line/context
+  assert(--top >= 0);               // vanishes under NDEBUG
+  assert(pop_count = top);          // assignment, not comparison
+  return stack[top];
+}

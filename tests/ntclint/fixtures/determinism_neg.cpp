@@ -1,0 +1,20 @@
+// ntclint fixture: deterministic idioms that must NOT be flagged.
+#include <cstdint>
+#include <unordered_map>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state += 0x9e3779b97f4a7c15ull; }
+};
+
+// Value-keyed unordered containers are fine: iteration is still
+// unordered, but the keys themselves are run-stable.
+std::unordered_map<std::uint64_t, int> by_addr;
+
+// Identifiers merely containing rule substrings must not trip tokens.
+int timer_grand_total = 0;
+void operand_time_keeper(int randomize_later) {
+  timer_grand_total += randomize_later;
+}
+
+std::uint64_t draw(Rng& rng) { return rng.next(); }

@@ -1,0 +1,28 @@
+// ntclint fixture: every determinism pattern must be flagged.
+// Scanned by tests/test_ntclint.cpp; never compiled into the build.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Line;
+
+int entropy_soup() {
+  int x = rand();                                   // libc PRNG
+  srand(42);                                        // libc PRNG seeding
+  std::random_device rd;                            // hardware entropy
+  x += static_cast<int>(rd());
+  auto t0 = std::chrono::steady_clock::now();       // host clock
+  auto t1 = std::chrono::system_clock::now();       // host clock
+  auto t2 = std::chrono::high_resolution_clock::now();  // host clock
+  x += static_cast<int>(std::time(nullptr));        // wall clock
+  (void)t0; (void)t1; (void)t2;
+  return x;
+}
+
+// Pointer-keyed unordered containers: iteration order tracks the
+// allocator, so loops over them diverge across runs.
+std::unordered_map<Line*, int> residency;
+std::unordered_set<const Line*> pinned;

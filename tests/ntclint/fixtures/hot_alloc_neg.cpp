@@ -1,0 +1,26 @@
+// ntclint fixture: allocation in cold paths (constructors, setup, plain
+// helpers) is the sanctioned place to preallocate — must not be flagged.
+#include <memory>
+#include <vector>
+
+struct Event {
+  int cycle = 0;
+};
+
+struct Queue {
+  std::vector<Event> pending;
+
+  Queue() { pending.reserve(4096); }
+
+  void configure(std::size_t depth) {
+    pending.reserve(depth);
+    scratch_ = std::make_unique<Event[]>(depth);
+  }
+
+  // Hot by name, but only reads/writes preallocated storage.
+  void tick(int now) {
+    if (!pending.empty()) pending.back().cycle = now;
+  }
+
+  std::unique_ptr<Event[]> scratch_;
+};

@@ -1,0 +1,32 @@
+// ntclint fixture: allocation inside a per-cycle function is flagged —
+// by name (tick/step/advance, trailing underscores ignored) and by the
+// NTC_HOT annotation on any other function.
+#include <memory>
+#include <vector>
+
+#define NTC_HOT
+
+struct Event {
+  int cycle = 0;
+};
+
+struct Queue {
+  std::vector<Event> pending;
+
+  void tick(int now) {
+    Event ev;
+    ev.cycle = now;
+    pending.push_back(ev);  // grows every cycle
+  }
+
+  void step_(int now) {
+    auto* e = new Event{now};  // heap allocation per cycle
+    delete e;
+  }
+
+  NTC_HOT void drain_one(int now) {
+    auto e = std::make_unique<Event>();
+    e->cycle = now;
+    pending.emplace_back(*e);
+  }
+};

@@ -1,0 +1,23 @@
+// ntclint fixture: by-name resolution inside a constructor is the
+// sanctioned pattern (resolve once, bump the handle afterwards).
+#include <cstdint>
+#include <string>
+
+struct StatSet {
+  std::uint64_t* counter(const std::string&);
+};
+
+class Cache {
+ public:
+  Cache(StatSet& stats)
+      : hits_(stats.counter("l1.hits")),
+        misses_(stats.counter("l1.misses")) {
+    total_ = stats.counter("l1.total");
+  }
+  void on_hit() { ++*hits_; }
+
+ private:
+  std::uint64_t* hits_;
+  std::uint64_t* misses_;
+  std::uint64_t* total_;
+};

@@ -1,0 +1,18 @@
+// ntclint fixture: by-name stat access outside a constructor is flagged.
+#include <cstdint>
+#include <string>
+
+struct StatSet {
+  std::uint64_t counter_value(const std::string&) const { return 0; }
+  int& counter(const std::string&);
+};
+
+struct Cache {
+  StatSet* stats;
+  std::uint64_t sample() {
+    // By-name lookup on every call: string hashing on the hot path.
+    return stats->counter_value("l1.hits") +
+           stats->counter_value("l1.misses");
+  }
+  void bump() { stats->counter("llc.writebacks") += 1; }
+};

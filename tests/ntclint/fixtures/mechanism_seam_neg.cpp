@@ -1,0 +1,16 @@
+// ntclint fixture: a single Mechanism comparison in a plain `if` is a
+// negative control / config default, not a dispatch — must not be
+// flagged outside src/persist/.
+enum class Mechanism { kOptimal, kSp, kTc, kKiln };
+
+struct Config {
+  Mechanism mech = Mechanism::kOptimal;
+};
+
+bool is_baseline(const Config& cfg) {
+  if (cfg.mech == Mechanism::kOptimal) return true;
+  return false;
+}
+
+// Naming a mechanism without comparing is also fine.
+Mechanism default_mechanism() { return Mechanism::kSp; }

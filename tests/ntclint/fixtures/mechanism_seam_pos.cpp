@@ -1,0 +1,16 @@
+// ntclint fixture: mechanism dispatch outside src/persist/ is flagged.
+enum class Mechanism { kOptimal, kSp, kTc, kKiln };
+
+int drain_latency(Mechanism mech) {
+  switch (mech) {
+    case Mechanism::kSp: return 3;
+    case Mechanism::kTc: return 7;
+    default: return 0;
+  }
+}
+
+bool needs_journal(Mechanism mech) {
+  if (mech == Mechanism::kKiln) return false;
+  else if (mech == Mechanism::kSp) return true;
+  return false;
+}

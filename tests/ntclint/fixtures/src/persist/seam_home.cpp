@@ -1,0 +1,15 @@
+// ntclint fixture: src/persist/ is the mechanism seam's home — the same
+// dispatch that is flagged everywhere else is exempt here. The fixture
+// tree nests a `src/persist/` segment so path normalization maps it to
+// the exempt prefix.
+enum class Mechanism { kOptimal, kSp, kTc, kKiln };
+
+int domain_for(Mechanism mech) {
+  switch (mech) {
+    case Mechanism::kOptimal: return 0;
+    case Mechanism::kSp: return 1;
+    case Mechanism::kTc: return 2;
+    case Mechanism::kKiln: return 3;
+  }
+  return -1;
+}

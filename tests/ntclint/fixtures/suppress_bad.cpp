@@ -1,0 +1,11 @@
+// ntclint fixture: malformed suppressions are findings themselves
+// (ntclint-bad-suppress) and do NOT silence anything.
+#include <cstdlib>
+
+int entropy() {
+  // ntclint-suppress(no-such-rule): unknown rule name
+  int x = rand();
+  // ntclint-suppress(determinism):
+  x += rand();
+  return x;
+}

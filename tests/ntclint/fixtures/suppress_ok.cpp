@@ -1,0 +1,15 @@
+// ntclint fixture: well-formed suppressions silence the named rule at
+// the site (same line, line above) and file-wide.
+#include <cstdlib>
+
+// ntclint-suppress-file(assert-discipline): fixture exercises file-wide
+// suppression; the abort() below is intentional.
+
+int entropy() {
+  // ntclint-suppress(determinism): fixture exercises line-above suppression
+  int x = rand();
+  x += rand();  // ntclint-suppress(determinism): same-line suppression
+  return x;
+}
+
+void fail_fast() { abort(); }

@@ -1,0 +1,27 @@
+// ntclint fixture: guarded CheckSink taps must not be flagged — both the
+// same-line guard and a guard a few lines above the call.
+struct CheckEvent {
+  int kind = 0;
+};
+
+struct CheckSink {
+  virtual void on_event(const CheckEvent&) = 0;
+  virtual ~CheckSink() = default;
+};
+
+struct MemoryModel {
+  CheckSink* sink = nullptr;
+
+  void complete_write(int addr) {
+    CheckEvent ev;
+    ev.kind = addr;
+    if (sink != nullptr) sink->on_event(ev);
+  }
+
+  void drain(int addr) {
+    if (sink == nullptr) return;
+    CheckEvent ev;
+    ev.kind = addr;
+    sink->on_event(ev);
+  }
+};

@@ -1,0 +1,20 @@
+// ntclint fixture: an unguarded CheckSink tap is flagged — taps are
+// default-null, so every callsite needs a visible null check.
+struct CheckEvent {
+  int kind = 0;
+};
+
+struct CheckSink {
+  virtual void on_event(const CheckEvent&) = 0;
+  virtual ~CheckSink() = default;
+};
+
+struct MemoryModel {
+  CheckSink* sink = nullptr;
+
+  void complete_write(int addr) {
+    CheckEvent ev;
+    ev.kind = addr;
+    sink->on_event(ev);  // crashes whenever no checker is attached
+  }
+};

@@ -1,0 +1,272 @@
+// ntclint end-to-end guard, three duties in one suite:
+//  1. Fixture matrix — one positive + one negative fixture per rule, run
+//     through the real binary with `--rule=` isolation, so a broken
+//     matcher (rule stops firing, or fires on clean code) fails tier-1.
+//  2. Tree gate — src/ and tools/ must scan clean against the checked-in
+//     baseline. This supersedes the old grep-shaped spot checks (e.g. the
+//     by-name-stat-lookup scan that used to live in
+//     test_regression_metrics.cpp): the lint rules are the one
+//     implementation of these invariants now.
+//  3. Doc drift — the rule list in `ntclint --list-rules`, the flag list
+//     in `ntclint --help` (tools/ntclint/cli_help.hpp) and the
+//     "Static invariants (ntclint)" section of docs/ARCHITECTURE.md
+//     (marker regions) must agree in both directions, mirroring
+//     test_cli_docs.cpp.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cli_help.hpp"
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult run_ntclint(const std::string& args) {
+  const std::string cmd = std::string(NTC_NTCLINT_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "cannot launch " << cmd;
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(NTC_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream oss;
+  oss << f.rdbuf();
+  return oss.str();
+}
+
+std::string doc_region(const std::string& doc, const std::string& tag) {
+  const std::string begin_marker = "<!-- " + tag + "-begin -->";
+  const std::string end_marker = "<!-- " + tag + "-end -->";
+  const std::size_t b = doc.find(begin_marker);
+  const std::size_t e = doc.find(end_marker);
+  EXPECT_NE(b, std::string::npos)
+      << "docs/ARCHITECTURE.md lost its " << begin_marker;
+  EXPECT_NE(e, std::string::npos)
+      << "docs/ARCHITECTURE.md lost its " << end_marker;
+  if (b == std::string::npos || e == std::string::npos || e <= b) return "";
+  return doc.substr(b, e - b);
+}
+
+/// `ntclint-<name>` tokens, minus the suppression-syntax markers (which
+/// are mechanics, not rules).
+std::set<std::string> extract_rule_tags(const std::string& text) {
+  std::set<std::string> tags;
+  const std::string prefix = "ntclint-";
+  for (std::size_t i = text.find(prefix); i != std::string::npos;
+       i = text.find(prefix, i + 1)) {
+    std::size_t end = i + prefix.size();
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) != 0 ||
+            text[end] == '-')) {
+      ++end;
+    }
+    while (end > i && text[end - 1] == '-') --end;
+    const std::string tag = text.substr(i, end - i);
+    // Not rules: the bare prefix, the suppression-syntax markers, and
+    // the doc-region markers themselves.
+    if (tag == prefix || tag.rfind("ntclint-suppress", 0) == 0 ||
+        tag.rfind("ntclint-rules", 0) == 0 ||
+        tag.rfind("ntclint-flags", 0) == 0) {
+      continue;
+    }
+    tags.insert(tag);
+  }
+  return tags;
+}
+
+std::set<std::string> extract_flags(const std::string& text) {
+  std::set<std::string> flags;
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-' ||
+        std::islower(static_cast<unsigned char>(text[i + 2])) == 0) {
+      continue;
+    }
+    if (i > 0 && text[i - 1] == '-') continue;
+    std::size_t end = i + 2;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(text[end])) != 0 ||
+            text[end] == '-')) {
+      ++end;
+    }
+    flags.insert(text.substr(i, end - i));
+    i = end;
+  }
+  return flags;
+}
+
+// --------------------------------------------------------------- fixtures
+
+struct RuleFixture {
+  const char* rule;
+  const char* positive;
+  const char* negative;
+};
+
+constexpr RuleFixture kRuleFixtures[] = {
+    {"determinism", "determinism_pos.cpp", "determinism_neg.cpp"},
+    {"hot-stats", "hot_stats_pos.cpp", "hot_stats_neg.cpp"},
+    {"mechanism-seam", "mechanism_seam_pos.cpp", "mechanism_seam_neg.cpp"},
+    {"tap-guard", "tap_guard_pos.cpp", "tap_guard_neg.cpp"},
+    {"hot-alloc", "hot_alloc_pos.cpp", "hot_alloc_neg.cpp"},
+    {"assert-discipline", "assert_discipline_pos.cpp",
+     "assert_discipline_neg.cpp"},
+};
+
+TEST(NtclintFixtures, PositiveFixturesFire) {
+  for (const RuleFixture& rf : kRuleFixtures) {
+    const RunResult r = run_ntclint("--rule=" + std::string(rf.rule) +
+                                    " --quiet " + fixture(rf.positive));
+    EXPECT_EQ(r.exit_code, 1)
+        << rf.rule << " did not fire on " << rf.positive << "\n" << r.output;
+    EXPECT_NE(r.output.find(std::string("[ntclint-") + rf.rule + "]"),
+              std::string::npos)
+        << rf.rule << " diagnostics missing for " << rf.positive << "\n"
+        << r.output;
+  }
+}
+
+TEST(NtclintFixtures, NegativeFixturesStayQuiet) {
+  for (const RuleFixture& rf : kRuleFixtures) {
+    const RunResult r = run_ntclint("--rule=" + std::string(rf.rule) +
+                                    " --quiet " + fixture(rf.negative));
+    EXPECT_EQ(r.exit_code, 0)
+        << rf.rule << " false-positive on " << rf.negative << "\n"
+        << r.output;
+  }
+}
+
+TEST(NtclintFixtures, SeamHomeIsExempt) {
+  // The fixture tree nests src/persist/ so path normalization maps it to
+  // the rule's exempt prefix: the same switch flagged elsewhere is fine
+  // in the seam's home.
+  const RunResult r = run_ntclint("--rule=mechanism-seam --quiet " +
+                                  fixture("src/persist/seam_home.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ----------------------------------------------------------- suppressions
+
+TEST(NtclintSuppressions, WellFormedSuppressionsSilence) {
+  for (const char* rule : {"determinism", "assert-discipline"}) {
+    const RunResult r = run_ntclint("--rule=" + std::string(rule) +
+                                    " --quiet " + fixture("suppress_ok.cpp"));
+    EXPECT_EQ(r.exit_code, 0)
+        << rule << " leaked through a suppression\n" << r.output;
+  }
+}
+
+TEST(NtclintSuppressions, MalformedSuppressionsAreFindingsAndDoNotSilence) {
+  const RunResult r =
+      run_ntclint("--rule=determinism --quiet " + fixture("suppress_bad.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[ntclint-bad-suppress]"), std::string::npos)
+      << r.output;
+  // The rand() sites the malformed suppressions tried to cover stay
+  // reported.
+  EXPECT_NE(r.output.find("[ntclint-determinism]"), std::string::npos)
+      << r.output;
+}
+
+// --------------------------------------------------------------- baseline
+
+TEST(NtclintBaseline, BaselinedFindingsAreToleratedNotHidden) {
+  const std::string tmp =
+      testing::TempDir() + "ntclint_fixture_baseline.txt";
+  const RunResult wr = run_ntclint("--rule=determinism --write-baseline=" +
+                                   tmp + " " + fixture("determinism_pos.cpp"));
+  ASSERT_EQ(wr.exit_code, 0) << wr.output;
+  const RunResult r = run_ntclint("--rule=determinism --baseline=" + tmp +
+                                  " --quiet " + fixture("determinism_pos.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << "baselined findings must not fail\n"
+                            << r.output;
+  EXPECT_NE(r.output.find("(baselined)"), std::string::npos)
+      << "baselined findings must still be visible\n" << r.output;
+  std::remove(tmp.c_str());
+}
+
+// --------------------------------------------------------------- tree gate
+
+TEST(NtclintTree, SrcAndToolsScanCleanAgainstBaseline) {
+  const RunResult r = run_ntclint(std::string("--baseline=") + NTC_BASELINE +
+                                  " " + NTC_SRC_DIR + " " + NTC_TOOLS_DIR);
+  EXPECT_EQ(r.exit_code, 0)
+      << "new ntclint findings in the tree: fix them or add a justified "
+      << "`// ntclint-suppress(<rule>): reason` at the site\n"
+      << r.output;
+}
+
+// ---------------------------------------------------------------- doc drift
+
+TEST(NtclintDocs, RuleListMatchesArchitectureDoc) {
+  const RunResult r = run_ntclint("--list-rules");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::set<std::string> listed = extract_rule_tags(r.output);
+  EXPECT_GE(listed.size(), 7u) << r.output;
+  const std::set<std::string> documented = extract_rule_tags(
+      doc_region(read_file(NTC_ARCHITECTURE_MD), "ntclint-rules"));
+  for (const std::string& tag : listed) {
+    EXPECT_TRUE(documented.count(tag) > 0)
+        << tag << " is in `ntclint --list-rules` but missing from the "
+        << "ntclint-rules region of docs/ARCHITECTURE.md";
+  }
+  for (const std::string& tag : documented) {
+    EXPECT_TRUE(listed.count(tag) > 0)
+        << tag << " is documented in docs/ARCHITECTURE.md but missing "
+        << "from `ntclint --list-rules` (tools/ntclint/rules.cpp)";
+  }
+}
+
+TEST(NtclintDocs, HelpFlagsMatchArchitectureDoc) {
+  const std::set<std::string> help = extract_flags(ntclint::kNtclintHelp);
+  const std::set<std::string> documented = extract_flags(
+      doc_region(read_file(NTC_ARCHITECTURE_MD), "ntclint-flags"));
+  for (const std::string& flag : help) {
+    EXPECT_TRUE(documented.count(flag) > 0)
+        << flag << " is in `ntclint --help` but missing from the "
+        << "ntclint-flags region of docs/ARCHITECTURE.md";
+  }
+  for (const std::string& flag : documented) {
+    EXPECT_TRUE(help.count(flag) > 0)
+        << flag << " is documented in docs/ARCHITECTURE.md but missing "
+        << "from `ntclint --help` (tools/ntclint/cli_help.hpp)";
+  }
+}
+
+TEST(NtclintDocs, HelpDocumentsDiscoveryFlags) {
+  const std::string help(ntclint::kNtclintHelp);
+  EXPECT_NE(help.find("--list-rules"), std::string::npos);
+  EXPECT_NE(help.find("--fix-suggestions"), std::string::npos);
+  // And the binary's --help is the same text.
+  const RunResult r = run_ntclint("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, help);
+}
+
+}  // namespace

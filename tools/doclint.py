@@ -15,8 +15,14 @@ Two checks, both aimed at doc drift:
    command that crashes, fails the lint. Bench binaries and build
    commands are not smoke-run -- they are covered by ctest's smoke label.
 
+3. ntclint smoke: fenced ```sh blocks in docs/ARCHITECTURE.md are parsed
+   for `ntclint` invocations (pass --ntclint=PATH to enable); each runs
+   from the repo root and must exit 0, so the documented lint workflow
+   cannot drift from the binary's actual flags.
+
 Usage:
   python3 tools/doclint.py [--root=DIR] [--ntcsim=PATH/TO/ntcsim]
+                           [--ntclint=PATH/TO/ntclint]
 
 Exit codes: 0 ok, 1 failures found, 2 usage error.
 """
@@ -180,14 +186,49 @@ def smoke_commands(root, ntcsim):
     return failures, ran
 
 
+def smoke_ntclint(root, ntclint):
+    """Run every documented `ntclint` command from docs/ARCHITECTURE.md
+    against the real binary; relative paths resolve from the repo root."""
+    failures = []
+    ran = 0
+    doc = os.path.join("docs", "ARCHITECTURE.md")
+    path = os.path.join(root, doc)
+    if not os.path.exists(path):
+        return ["%s: missing (ntclint smoke drift)" % doc], 0
+    for cmd in shell_blocks(path):
+        try:
+            tokens = shlex.split(cmd)
+        except ValueError as e:
+            failures.append("%s: unparseable command %r (%s)" % (doc, cmd, e))
+            continue
+        if not tokens or os.path.basename(tokens[0]) != "ntclint":
+            continue
+        ran += 1
+        proc = subprocess.run([ntclint] + tokens[1:], cwd=root,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, timeout=600)
+        if proc.returncode != 0:
+            failures.append(
+                "%s: documented ntclint command failed (exit %d):\n  %s\n%s"
+                % (doc, proc.returncode, cmd,
+                   proc.stdout.decode(errors="replace")[-2000:]))
+    if ran == 0:
+        failures.append("smoke: no ntclint commands found in %s -- the "
+                        "extractor or the docs broke" % doc)
+    return failures, ran
+
+
 def main(argv):
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     ntcsim = None
+    ntclint = None
     for a in argv[1:]:
         if a.startswith("--root="):
             root = os.path.abspath(a.split("=", 1)[1])
         elif a.startswith("--ntcsim="):
             ntcsim = os.path.abspath(a.split("=", 1)[1])
+        elif a.startswith("--ntclint="):
+            ntclint = os.path.abspath(a.split("=", 1)[1])
         else:
             sys.stderr.write(__doc__)
             return 2
@@ -202,6 +243,13 @@ def main(argv):
         print("doclint: smoke-ran %d documented ntcsim commands" % ran)
     else:
         print("doclint: --ntcsim not given; skipping command smoke")
+
+    if ntclint:
+        lint_fail, ran = smoke_ntclint(root, ntclint)
+        failures += lint_fail
+        print("doclint: smoke-ran %d documented ntclint commands" % ran)
+    else:
+        print("doclint: --ntclint not given; skipping ntclint smoke")
 
     for f in failures:
         sys.stderr.write("doclint: FAIL: %s\n" % f)

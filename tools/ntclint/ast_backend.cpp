@@ -1,0 +1,367 @@
+// Clang ASTMatchers backend — type-accurate versions of the rules the
+// lexical backend approximates. Built only under -DNTC_LINT=ON against
+// the pinned LLVM major (tools/ntclint/CMakeLists.txt); everywhere else
+// ast_stub.cpp provides the no-op.
+//
+// Scope notes:
+//  * Findings are attributed by *expansion* location and only reported
+//    for files in the requested set, so `#include`d headers are covered
+//    when they were part of the scan and skipped (no phantom paths)
+//    when they were not. The driver dedupes (file, line, rule) against
+//    the lexical backend.
+//  * tap-guard stays lexical-only: deciding whether a `sink->on_event`
+//    callsite is dominated by a null check is flow analysis, not a
+//    matcher, and the 12-line lexical window has had no false negatives
+//    in this tree.
+//  * The side-effectful-assert half of assert-discipline also stays
+//    lexical: `NTC_ASSERT(c, ...)` conditions vanish into macro
+//    expansions (and into nothing under NDEBUG), so the spelled text is
+//    the reliable artifact. The AST half covers raw abort() calls.
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/Diagnostic.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "ntclint.hpp"
+
+namespace ntclint {
+namespace {
+
+using clang::ast_matchers::MatchFinder;
+namespace m = clang::ast_matchers;
+
+/// Shared state for every callback: where to report and which files the
+/// user actually asked about (keyed by normalized path, valued by the
+/// spelling the driver used, so suppression lookup matches).
+struct ScanState {
+  std::map<std::string, std::string> requested;  // norm_rel -> driver path
+  std::vector<Finding>* out = nullptr;
+};
+
+/// Resolve a location to (driver path, line); false if the expansion
+/// lands outside the requested file set.
+bool locate(ScanState& st, const MatchFinder::MatchResult& r,
+            clang::SourceLocation loc, std::string& file, unsigned& line) {
+  if (loc.isInvalid()) return false;
+  const clang::SourceManager& sm = *r.SourceManager;
+  const clang::SourceLocation ex = sm.getExpansionLoc(loc);
+  const llvm::StringRef name = sm.getFilename(ex);
+  if (name.empty()) return false;
+  const auto it = st.requested.find(norm_rel(name.str()));
+  if (it == st.requested.end()) return false;
+  file = it->second;
+  line = sm.getExpansionLineNumber(ex);
+  return true;
+}
+
+void report(ScanState& st, const MatchFinder::MatchResult& r,
+            clang::SourceLocation loc, RuleId id, const std::string& msg) {
+  Finding f;
+  if (!locate(st, r, loc, f.file, f.line)) return;
+  f.id = id;
+  f.message = msg;
+  st.out->push_back(f);
+}
+
+/// Generic callback wrapper so each rule is a lambda, not a class.
+class Cb : public MatchFinder::MatchCallback {
+ public:
+  using Fn = std::function<void(const MatchFinder::MatchResult&)>;
+  explicit Cb(Fn fn) : fn_(std::move(fn)) {}
+  void run(const MatchFinder::MatchResult& r) override { fn_(r); }
+
+ private:
+  Fn fn_;
+};
+
+/// Walk up the dynamic parent chain to the enclosing function definition.
+const clang::FunctionDecl* enclosing_function(clang::ASTContext& ctx,
+                                              const clang::Stmt& s) {
+  auto parents = ctx.getParents(s);
+  while (!parents.empty()) {
+    const clang::DynTypedNode node = parents[0];
+    if (const auto* fd = node.get<clang::FunctionDecl>()) return fd;
+    parents = ctx.getParents(node);
+  }
+  return nullptr;
+}
+
+/// Hot = tick/step/advance (trailing underscores ignored) or any decl in
+/// the chain carrying the NTC_HOT annotate attribute.
+bool is_hot_function(const clang::FunctionDecl* fd) {
+  if (fd == nullptr) return false;
+  std::string name = fd->getNameAsString();
+  while (!name.empty() && name.back() == '_') name.pop_back();
+  if (name == "tick" || name == "step" || name == "advance") return true;
+  for (const clang::FunctionDecl* d = fd; d != nullptr;
+       d = d->getPreviousDecl()) {
+    for (const auto* a : d->specific_attrs<clang::AnnotateAttr>()) {
+      if (a->getAnnotation() == "ntc_hot") return true;
+    }
+  }
+  return false;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+bool ast_available() { return true; }
+
+void ast_scan(const std::vector<std::string>& files,
+              const std::string& build_dir,
+              const std::vector<bool>& enabled, std::vector<Finding>& out) {
+  ScanState st;
+  st.out = &out;
+  std::vector<std::string> tus;  // headers are reached via expansion locs
+  for (const std::string& f : files) {
+    st.requested[norm_rel(f)] = f;
+    const std::size_t dot = f.find_last_of('.');
+    const std::string ext = dot == std::string::npos ? "" : f.substr(dot);
+    if (ext == ".cpp" || ext == ".cc" || ext == ".cxx") tus.push_back(f);
+  }
+  if (tus.empty()) return;
+
+  std::string err;
+  std::unique_ptr<clang::tooling::CompilationDatabase> db;
+  if (!build_dir.empty()) {
+    db = clang::tooling::CompilationDatabase::loadFromDirectory(build_dir,
+                                                                err);
+  }
+  if (!db) {
+    // Directory-mode fallback: a fixed command line good enough for this
+    // tree's layout. -p <build> is the precise path.
+    db = std::make_unique<clang::tooling::FixedCompilationDatabase>(
+        ".", std::vector<std::string>{"-std=c++20", "-Isrc", "-Itools"});
+  }
+
+  auto on = [&enabled](RuleId id) {
+    return enabled[static_cast<std::size_t>(id)];
+  };
+
+  MatchFinder finder;
+  std::vector<std::unique_ptr<Cb>> cbs;
+  auto add_cb = [&](Cb::Fn fn) -> Cb* {
+    cbs.push_back(std::make_unique<Cb>(std::move(fn)));
+    return cbs.back().get();
+  };
+
+  // ---------------------------------------------------------- determinism
+  if (on(RuleId::kDeterminism)) {
+    finder.addMatcher(
+        m::callExpr(m::callee(m::functionDecl(m::hasAnyName(
+                        "::rand", "::srand", "::time", "::clock",
+                        "::gettimeofday", "::clock_gettime"))))
+            .bind("libc-entropy"),
+        add_cb([&st](const MatchFinder::MatchResult& r) {
+          const auto* e = r.Nodes.getNodeAs<clang::CallExpr>("libc-entropy");
+          report(st, r, e->getBeginLoc(), RuleId::kDeterminism,
+                 "libc entropy/time call: simulation state must derive "
+                 "from the seeded SplitMix64 Rng and the Cycle clock "
+                 "(src/common/rng.hpp)");
+        }));
+    finder.addMatcher(
+        m::cxxConstructExpr(
+            m::hasDeclaration(m::cxxConstructorDecl(
+                m::ofClass(m::hasName("::std::random_device")))))
+            .bind("rd"),
+        add_cb([&st](const MatchFinder::MatchResult& r) {
+          const auto* e = r.Nodes.getNodeAs<clang::CXXConstructExpr>("rd");
+          report(st, r, e->getBeginLoc(), RuleId::kDeterminism,
+                 "std::random_device: non-deterministic seed source; use "
+                 "the seeded SplitMix64 Rng (src/common/rng.hpp)");
+        }));
+    finder.addMatcher(
+        m::callExpr(m::callee(m::cxxMethodDecl(
+                        m::hasName("now"),
+                        m::ofClass(m::hasAnyName(
+                            "::std::chrono::steady_clock",
+                            "::std::chrono::system_clock",
+                            "::std::chrono::high_resolution_clock")))))
+            .bind("clock-now"),
+        add_cb([&st](const MatchFinder::MatchResult& r) {
+          const auto* e = r.Nodes.getNodeAs<clang::CallExpr>("clock-now");
+          report(st, r, e->getBeginLoc(), RuleId::kDeterminism,
+                 "host clock read: host time must never feed simulated "
+                 "state or Metrics/CSV; derive time from the Cycle clock");
+        }));
+    const auto ptr_keyed = m::classTemplateSpecializationDecl(
+        m::hasAnyName("::std::unordered_map", "::std::unordered_set"),
+        m::hasTemplateArgument(
+            0, m::refersToType(m::qualType(m::isAnyPointer()))));
+    const auto ptr_keyed_type = m::hasType(m::qualType(
+        m::hasUnqualifiedDesugaredType(
+            m::recordType(m::hasDeclaration(ptr_keyed)))));
+    auto flag_container = [&st](const MatchFinder::MatchResult& r,
+                                const clang::Decl* d) {
+      report(st, r, d->getBeginLoc(), RuleId::kDeterminism,
+             "unordered container keyed by pointer: iteration order "
+             "follows the allocator, so any loop over it diverges across "
+             "runs; key by Addr/TxId/a stable id");
+    };
+    finder.addMatcher(
+        m::varDecl(ptr_keyed_type).bind("ptr-keyed-var"),
+        add_cb([&st, flag_container](const MatchFinder::MatchResult& r) {
+          flag_container(
+              r, r.Nodes.getNodeAs<clang::VarDecl>("ptr-keyed-var"));
+        }));
+    finder.addMatcher(
+        m::fieldDecl(ptr_keyed_type).bind("ptr-keyed-field"),
+        add_cb([&st, flag_container](const MatchFinder::MatchResult& r) {
+          flag_container(
+              r, r.Nodes.getNodeAs<clang::FieldDecl>("ptr-keyed-field"));
+        }));
+  }
+
+  // ------------------------------------------------------------ hot-stats
+  if (on(RuleId::kHotStats)) {
+    finder.addMatcher(
+        m::cxxMemberCallExpr(
+            m::callee(m::cxxMethodDecl(
+                m::hasAnyName("counter", "counter_value",
+                              "counter_prefix_sum", "has_counter",
+                              "accumulator", "accumulator_mean",
+                              "accumulator_sum", "accumulator_count",
+                              "histogram"),
+                m::ofClass(m::hasName("StatSet")))),
+            m::unless(m::hasAncestor(m::cxxConstructorDecl())))
+            .bind("by-name-stat"),
+        add_cb([&st](const MatchFinder::MatchResult& r) {
+          const auto* e =
+              r.Nodes.getNodeAs<clang::CXXMemberCallExpr>("by-name-stat");
+          std::string file;
+          unsigned line = 0;
+          if (!locate(st, r, e->getBeginLoc(), file, line)) return;
+          const std::string rel = norm_rel(file);
+          if (rel == "src/common/stats.hpp" ||
+              rel == "src/common/stats.cpp" ||
+              rel == "src/common/stat_handle.hpp") {
+            return;
+          }
+          const auto* callee =
+              llvm::dyn_cast_or_null<clang::CXXMethodDecl>(
+                  e->getDirectCallee());
+          const std::string name =
+              callee != nullptr ? callee->getNameAsString() : "<method>";
+          Finding f;
+          f.file = file;
+          f.line = line;
+          f.id = RuleId::kHotStats;
+          f.message = "by-name stat access `" + name +
+                      "(...)` outside a constructor: resolve a StatHandle "
+                      "at construction and bump it here "
+                      "(src/common/stat_handle.hpp)";
+          st.out->push_back(f);
+        }));
+  }
+
+  // ------------------------------------------------------- mechanism-seam
+  if (on(RuleId::kMechanismSeam)) {
+    finder.addMatcher(
+        m::switchStmt(m::hasCondition(m::ignoringImpCasts(
+                          m::hasType(m::enumDecl(m::hasName("Mechanism"))))))
+            .bind("mech-switch"),
+        add_cb([&st](const MatchFinder::MatchResult& r) {
+          const auto* s = r.Nodes.getNodeAs<clang::SwitchStmt>("mech-switch");
+          std::string file;
+          unsigned line = 0;
+          if (!locate(st, r, s->getBeginLoc(), file, line)) return;
+          if (starts_with(norm_rel(file), "src/persist/")) return;
+          Finding f;
+          f.file = file;
+          f.line = line;
+          f.id = RuleId::kMechanismSeam;
+          f.message =
+              "switch over Mechanism outside src/persist/: move this "
+              "dispatch behind the PersistenceDomain seam "
+              "(src/persist/domain.hpp)";
+          st.out->push_back(f);
+        }));
+  }
+
+  // ------------------------------------------------------------ hot-alloc
+  if (on(RuleId::kHotAlloc)) {
+    auto flag_alloc = [&st](const MatchFinder::MatchResult& r,
+                            const clang::Stmt* s, const std::string& what) {
+      const clang::FunctionDecl* fd = enclosing_function(*r.Context, *s);
+      if (!is_hot_function(fd)) return;
+      report(st, r, s->getBeginLoc(), RuleId::kHotAlloc,
+             what + " in per-cycle function `" + fd->getNameAsString() +
+                 "`: preallocate at construction or hoist off the hot "
+                 "path");
+    };
+    finder.addMatcher(
+        m::cxxNewExpr().bind("hot-new"),
+        add_cb([&st, flag_alloc](const MatchFinder::MatchResult& r) {
+          flag_alloc(r, r.Nodes.getNodeAs<clang::CXXNewExpr>("hot-new"),
+                     "heap allocation `new`");
+        }));
+    finder.addMatcher(
+        m::callExpr(m::callee(m::functionDecl(m::hasAnyName(
+                        "::std::make_unique", "::std::make_shared"))))
+            .bind("hot-make"),
+        add_cb([&st, flag_alloc](const MatchFinder::MatchResult& r) {
+          flag_alloc(r, r.Nodes.getNodeAs<clang::CallExpr>("hot-make"),
+                     "heap allocation `make_unique/make_shared`");
+        }));
+    finder.addMatcher(
+        m::cxxMemberCallExpr(
+            m::callee(m::cxxMethodDecl(m::hasAnyName(
+                "push_back", "emplace_back", "push_front", "emplace_front",
+                "emplace", "insert", "resize", "reserve"))))
+            .bind("hot-grow"),
+        add_cb([&st, flag_alloc](const MatchFinder::MatchResult& r) {
+          const auto* e =
+              r.Nodes.getNodeAs<clang::CXXMemberCallExpr>("hot-grow");
+          const auto* callee = e->getDirectCallee();
+          const std::string name =
+              callee != nullptr ? callee->getNameAsString() : "<grow>";
+          flag_alloc(r, e, "container growth `" + name + "`");
+        }));
+  }
+
+  // ---------------------------------------------------- assert-discipline
+  if (on(RuleId::kAssertDiscipline)) {
+    finder.addMatcher(
+        m::callExpr(m::callee(m::functionDecl(m::hasName("::abort"))))
+            .bind("raw-abort"),
+        add_cb([&st](const MatchFinder::MatchResult& r) {
+          const auto* e = r.Nodes.getNodeAs<clang::CallExpr>("raw-abort");
+          std::string file;
+          unsigned line = 0;
+          if (!locate(st, r, e->getBeginLoc(), file, line)) return;
+          if (norm_rel(file) == "src/common/assert.hpp") return;
+          Finding f;
+          f.file = file;
+          f.line = line;
+          f.id = RuleId::kAssertDiscipline;
+          f.message =
+              "raw abort(): use NTC_ASSERT/NTC_CHECK_MSG "
+              "(src/common/assert.hpp) so the failure reports file, line "
+              "and context";
+          st.out->push_back(f);
+        }));
+  }
+
+  clang::tooling::ClangTool tool(*db, tus);
+  // Parse diagnostics go to the compiler's own CI lane; here they would
+  // drown the findings (and directory-mode fallback flags are expected
+  // to miss some includes).
+  clang::IgnoringDiagConsumer quiet;
+  tool.setDiagnosticConsumer(&quiet);
+  tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+}
+
+}  // namespace ntclint

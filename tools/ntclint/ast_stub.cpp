@@ -1,0 +1,16 @@
+// Stub AST backend, compiled when the tree is configured without
+// -DNTC_LINT=ON (no Clang dev headers needed). The lexical backend
+// still enforces every rule; the driver reports `[lex backend]` so a
+// log always says which precision level produced it.
+#include "ntclint.hpp"
+
+namespace ntclint {
+
+bool ast_available() { return false; }
+
+bool ast_scan(const std::vector<std::string>&, const std::string&,
+              const std::vector<bool>&, std::vector<Finding>&) {
+  return false;
+}
+
+}  // namespace ntclint

@@ -1,0 +1,47 @@
+// The `ntclint --help` text, shared between the driver and
+// tests/test_ntclint.cpp, which cross-checks the flags listed here and
+// the rule list in docs/ARCHITECTURE.md ("Static invariants (ntclint)")
+// in both directions — the same bidirectional drift guard
+// tests/test_cli_docs.cpp applies to `ntcsim --help`.
+#pragma once
+
+namespace ntclint {
+
+inline constexpr const char kNtclintHelp[] =
+    "ntclint — domain static analysis for the ntcsim codebase\n"
+    "\n"
+    "usage: ntclint [options] [path...]\n"
+    "\n"
+    "  path                 .cpp/.hpp files, or directories scanned\n"
+    "                       recursively (build/ and dot-dirs skipped)\n"
+    "  -p DIR               read DIR/compile_commands.json for the file\n"
+    "                       list (filtered to --scope) and, with the AST\n"
+    "                       backend, for per-file compile flags\n"
+    "  --scope=PREFIX       with -p, keep only files whose repo-relative\n"
+    "                       path starts with PREFIX (repeatable; default\n"
+    "                       src/ and tools/ — tests and benches compare\n"
+    "                       mechanisms and read stats by name by design)\n"
+    "  --rule=NAME          run only rule NAME (repeatable; default all)\n"
+    "  --baseline=FILE      load the legacy-debt baseline: matching\n"
+    "                       findings are reported as `(baselined)` and do\n"
+    "                       not fail the run\n"
+    "  --write-baseline=FILE  write every current finding as the new\n"
+    "                       baseline and exit 0\n"
+    "  --backend=MODE       lex | ast | both (default both: the lexical\n"
+    "                       backend always runs; the Clang ASTMatchers\n"
+    "                       backend joins in when compiled in via\n"
+    "                       -DNTC_LINT=ON)\n"
+    "  --list-rules         print every rule with its summary, rationale\n"
+    "                       and canonical fix, then exit\n"
+    "  --fix-suggestions    append a `suggestion:` line with the\n"
+    "                       canonical fix to every finding\n"
+    "  --quiet              findings only; no summary line\n"
+    "  --help               this text\n"
+    "\n"
+    "Diagnostics are `file:line: [ntclint-<rule>] message`. Suppress a\n"
+    "reviewed exemption with `// ntclint-suppress(<rule>): reason` on the\n"
+    "offending line or the line above, or `// ntclint-suppress-file(...)`\n"
+    "for a whole file. Exit codes: 0 clean (baselined findings allowed),\n"
+    "1 new findings, 2 usage or I/O error.\n";
+
+}  // namespace ntclint

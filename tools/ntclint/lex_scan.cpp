@@ -1,0 +1,587 @@
+// The dependency-free lexical backend.
+//
+// Not a parser: a comment/string-aware token scanner plus a brace-depth
+// context tracker that knows which function a line is in, whether that
+// function is a constructor, and whether it is hot-path (named
+// tick/step/advance or carrying NTC_HOT in its signature). That is
+// enough context to enforce every ntclint rule with good precision on
+// this codebase's house style; the AST backend (ast_backend.cpp) adds
+// type-accurate matching on top when built. Where the two disagree the
+// lexical rules are written to over-report slightly and rely on
+// reviewed `ntclint-suppress` comments rather than under-report and
+// miss a contract violation.
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "ntclint.hpp"
+
+namespace ntclint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Find `tok` in `s` at word boundaries, starting at `from`.
+std::size_t find_token(const std::string& s, const std::string& tok,
+                       std::size_t from = 0) {
+  while (true) {
+    const std::size_t p = s.find(tok, from);
+    if (p == std::string::npos) return std::string::npos;
+    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
+    const std::size_t after = p + tok.size();
+    const bool right_ok = after >= s.size() || !ident_char(s[after]);
+    if (left_ok && right_ok) return p;
+    from = p + 1;
+  }
+}
+
+bool has_token(const std::string& s, const std::string& tok) {
+  return find_token(s, tok) != std::string::npos;
+}
+
+/// True if `tok` occurs as a call: token followed (over whitespace) by '('.
+std::size_t find_call(const std::string& s, const std::string& tok,
+                      std::size_t from = 0) {
+  std::size_t p = from;
+  while ((p = find_token(s, tok, p)) != std::string::npos) {
+    std::size_t q = p + tok.size();
+    while (q < s.size() && (s[q] == ' ' || s[q] == '\t')) ++q;
+    if (q < s.size() && s[q] == '(') return p;
+    ++p;
+  }
+  return std::string::npos;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// Blank out preprocessor directives (including \-continuations) so
+/// macro bodies neither unbalance the brace tracker nor trip token
+/// rules; directives keep their line slots.
+void blank_directives(std::vector<std::string>& lines) {
+  bool cont = false;
+  for (std::string& line : lines) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool directive = first != std::string::npos && line[first] == '#';
+    if (cont || directive) {
+      cont = !line.empty() && line.back() == '\\';
+      line.assign(line.size(), ' ');
+    } else {
+      cont = false;
+    }
+  }
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kOther };
+  Kind kind = Kind::kOther;
+  std::string name;
+  LineContext ctx;  // valid for kFunction
+};
+
+std::string strip_trailing_underscores(std::string s) {
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
+}
+
+bool hot_name(const std::string& name) {
+  const std::string base = strip_trailing_underscores(name);
+  return base == "tick" || base == "step" || base == "advance";
+}
+
+/// Last identifier token ending at (exclusive) position `end`.
+std::string ident_before(const std::string& s, std::size_t end) {
+  std::size_t e = end;
+  while (e > 0 &&
+         (s[e - 1] == ' ' || s[e - 1] == '\t')) {
+    --e;
+  }
+  std::size_t b = e;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  return s.substr(b, e - b);
+}
+
+/// Build a per-line context table from the sanitized, directive-blanked
+/// lines: innermost enclosing function, constructor-ness (including the
+/// signature and init list) and hotness.
+std::vector<LineContext> build_contexts(const std::vector<std::string>& lines) {
+  std::vector<LineContext> ctx(lines.size());
+  std::vector<Scope> scopes;
+  std::string pending;        // text since the last ; { or }
+  std::size_t pending_start = 0;  // line of `pending`'s first non-space char
+  bool pending_content = false;
+  auto innermost_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kClass) return it->name;
+      if (it->kind == Scope::Kind::kFunction) break;
+    }
+    return "";
+  };
+  auto current_fn = [&]() -> const Scope* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return &*it;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '{') {
+        Scope s;
+        const Scope* fn = current_fn();
+        if (fn != nullptr) {
+          s.kind = Scope::Kind::kOther;  // control flow / init braces
+        } else if (pending.find('(') != std::string::npos &&
+                   !has_token(pending, "enum")) {
+          s.kind = Scope::Kind::kFunction;
+          const std::size_t paren = pending.find('(');
+          std::string name = ident_before(pending, paren);
+          std::string qual;
+          {
+            // Foo::name( -> qualifier Foo.
+            std::size_t b = paren;
+            while (b > 0 && (pending[b - 1] == ' ' || pending[b - 1] == '\t')) {
+              --b;
+            }
+            while (b > 0 && ident_char(pending[b - 1])) --b;  // skip `name`
+            if (b >= 2 && pending.compare(b - 2, 2, "::") == 0) {
+              qual = ident_before(pending, b - 2);
+            }
+          }
+          s.name = name;
+          s.ctx.func = name;
+          const std::string cls = innermost_class();
+          s.ctx.in_ctor =
+              !name.empty() && (name == qual || (!cls.empty() && name == cls));
+          s.ctx.hot = hot_name(name) || has_token(pending, "NTC_HOT");
+          // Backfill the signature + init-list lines.
+          for (std::size_t l = pending_start; l <= li; ++l) ctx[l] = s.ctx;
+        } else if (has_token(pending, "namespace")) {
+          s.kind = Scope::Kind::kNamespace;
+        } else if (has_token(pending, "class") || has_token(pending, "struct") ||
+                   has_token(pending, "union")) {
+          s.kind = Scope::Kind::kClass;
+          // Name: last identifier before `{`, `:` (bases) or `final`.
+          std::string head = pending;
+          const std::size_t colon = head.find(" : ");
+          if (colon != std::string::npos) head = head.substr(0, colon);
+          const std::size_t fin = find_token(head, "final");
+          if (fin != std::string::npos) head = head.substr(0, fin);
+          s.name = ident_before(head, head.size());
+        } else {
+          s.kind = Scope::Kind::kOther;  // enum, init list, try, extern "C"
+        }
+        scopes.push_back(s);
+        pending.clear();
+        pending_content = false;
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        pending.clear();
+        pending_content = false;
+      } else if (c == ';') {
+        pending.clear();
+        pending_content = false;
+      } else {
+        if (!pending_content && c != ' ' && c != '\t') {
+          pending_start = li;
+          pending_content = true;
+        }
+        pending.push_back(c);
+      }
+    }
+    pending.push_back(' ');
+    const Scope* fn = current_fn();
+    if (fn != nullptr && ctx[li].func.empty()) ctx[li] = fn->ctx;
+  }
+  return ctx;
+}
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.compare(0, p.size(), p) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void add(std::vector<Finding>& out, const std::string& path, unsigned line,
+         RuleId id, const std::string& msg) {
+  Finding f;
+  f.file = path;
+  f.line = line;
+  f.id = id;
+  f.message = msg;
+  out.push_back(f);
+}
+
+/// First template argument of `unordered_map<...>`/`unordered_set<...>`
+/// starting right after `<` at `pos`; empty if it spans lines.
+std::string first_template_arg(const std::string& line, std::size_t pos) {
+  int depth = 1;
+  std::string arg;
+  for (std::size_t i = pos; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<') ++depth;
+    if (c == '>') --depth;
+    if (depth == 0 || (depth == 1 && c == ',')) return arg;
+    arg.push_back(c);
+  }
+  return "";  // unterminated on this line; give up (over-reporting risk)
+}
+
+void rule_determinism(const std::string& path,
+                      const std::vector<std::string>& lines,
+                      std::vector<Finding>& out) {
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li];
+    const unsigned ln = static_cast<unsigned>(li + 1);
+    for (const char* fn : {"rand", "srand"}) {
+      if (find_call(s, fn) != std::string::npos) {
+        add(out, path, ln, RuleId::kDeterminism,
+            std::string("call to ") + fn +
+                "(): libc PRNG state is process-global and "
+                "seed-order-dependent; use ntcsim::Rng");
+      }
+    }
+    if (has_token(s, "random_device")) {
+      add(out, path, ln, RuleId::kDeterminism,
+          "std::random_device: hardware entropy can never reproduce; "
+          "seed ntcsim::Rng from the experiment cell instead");
+    }
+    for (const char* clk :
+         {"system_clock", "steady_clock", "high_resolution_clock"}) {
+      if (has_token(s, clk)) {
+        add(out, path, ln, RuleId::kDeterminism,
+            std::string("host clock read (") + clk +
+                "): host time must never feed simulated state or "
+                "Metrics/CSV; derive time from the Cycle clock");
+      }
+    }
+    {
+      // std::time( / ::time( — bare time( matches too many identifiers.
+      std::size_t p = 0;
+      while ((p = find_call(s, "time", p)) != std::string::npos) {
+        std::size_t b = p;
+        while (b > 0 && (s[b - 1] == ' ' || s[b - 1] == '\t')) --b;
+        if (b >= 2 && s.compare(b - 2, 2, "::") == 0) {
+          add(out, path, ln, RuleId::kDeterminism,
+              "wall-clock time(): host time must never feed simulated "
+              "state or Metrics/CSV");
+        }
+        ++p;
+      }
+    }
+    for (const char* cont : {"unordered_map", "unordered_set"}) {
+      std::size_t p = 0;
+      while ((p = find_token(s, cont, p)) != std::string::npos) {
+        const std::size_t open = p + std::string(cont).size();
+        if (open < s.size() && s[open] == '<') {
+          std::string arg = first_template_arg(s, open + 1);
+          while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+          if (!arg.empty() && arg.back() == '*') {
+            add(out, path, ln, RuleId::kDeterminism,
+                std::string(cont) + " keyed by a pointer: iteration order "
+                "follows the allocator, so any loop over it diverges "
+                "across runs; key by Addr/TxId/a stable id");
+          }
+        }
+        ++p;
+      }
+    }
+  }
+}
+
+void rule_hot_stats(const std::string& path,
+                    const std::vector<std::string>& lines,
+                    const std::vector<LineContext>& ctx,
+                    std::vector<Finding>& out) {
+  const std::string rel = norm_rel(path);
+  // The registry and the handle wrapper are the two places by-name
+  // resolution is the point.
+  if (rel == "src/common/stats.hpp" || rel == "src/common/stats.cpp" ||
+      rel == "src/common/stat_handle.hpp") {
+    return;
+  }
+  static const char* kByName[] = {
+      "counter",          "counter_value",     "counter_prefix_sum",
+      "has_counter",      "accumulator",       "accumulator_mean",
+      "accumulator_sum",  "accumulator_count", "histogram",
+  };
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (ctx[li].in_ctor) continue;
+    const std::string& s = lines[li];
+    for (const char* m : kByName) {
+      std::size_t p = 0;
+      while ((p = find_call(s, m, p)) != std::string::npos) {
+        const bool member =
+            (p >= 1 && s[p - 1] == '.') ||
+            (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>');
+        if (member) {
+          add(out, path, static_cast<unsigned>(li + 1), RuleId::kHotStats,
+              std::string("by-name stat access `") + m +
+                  "(...)` outside a constructor: resolve a StatHandle at "
+                  "construction and bump it here (src/common/stat_handle.hpp)");
+        }
+        ++p;
+      }
+    }
+  }
+}
+
+void rule_mechanism_seam(const std::string& path,
+                         const std::vector<std::string>& lines,
+                         std::vector<Finding>& out) {
+  const std::string rel = norm_rel(path);
+  if (starts_with(rel, "src/persist/")) return;  // the seam's home
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li];
+    const unsigned ln = static_cast<unsigned>(li + 1);
+    // case Mechanism::kX — a per-mechanism switch arm.
+    const std::size_t cs = find_token(s, "case");
+    if (cs != std::string::npos &&
+        s.find("Mechanism::", cs) != std::string::npos) {
+      add(out, path, ln, RuleId::kMechanismSeam,
+          "per-mechanism switch arm outside src/persist/: move this "
+          "behaviour into the PersistenceDomain and dispatch through "
+          "the DomainRegistry");
+      continue;
+    }
+    // switch (…mech…) — the dispatch head itself.
+    const std::size_t sw = find_token(s, "switch");
+    if (sw != std::string::npos) {
+      const std::size_t open = s.find('(', sw);
+      if (open != std::string::npos) {
+        std::string cond = s.substr(open);
+        for (char& c : cond) c = static_cast<char>(std::tolower(
+                                 static_cast<unsigned char>(c)));
+        if (cond.find("mech") != std::string::npos) {
+          add(out, path, ln, RuleId::kMechanismSeam,
+              "switch on Mechanism outside src/persist/: "
+              "registry-registered mechanisms (tc-nodrain, future "
+              "extensions) silently miss this dispatch");
+          continue;
+        }
+      }
+    }
+    // if/else-if chains comparing Mechanism enumerators. A single
+    // comparison in a plain `if` is allowed (negative controls, config
+    // defaults); a chain is a dispatch in disguise.
+    std::size_t cmp = 0;
+    std::size_t p = 0;
+    while ((p = s.find("Mechanism::", p)) != std::string::npos) {
+      std::size_t b = p;
+      while (b > 0 && (s[b - 1] == ' ' || s[b - 1] == '\t')) --b;
+      if (b >= 2 && (s.compare(b - 2, 2, "==") == 0 ||
+                     s.compare(b - 2, 2, "!=") == 0)) {
+        ++cmp;
+      }
+      ++p;
+    }
+    if (cmp >= 2 || (cmp >= 1 && has_token(s, "else"))) {
+      add(out, path, ln, RuleId::kMechanismSeam,
+          "if-chain on Mechanism outside src/persist/: this is a "
+          "mechanism dispatch; route it through the PersistenceDomain "
+          "seam");
+    }
+  }
+}
+
+void rule_tap_guard(const std::string& path,
+                    const std::vector<std::string>& lines,
+                    std::vector<Finding>& out) {
+  const std::string rel = norm_rel(path);
+  // The checker itself consumes events; its internal forwarding is not
+  // a tap callsite.
+  if (starts_with(rel, "src/check/")) return;
+  constexpr std::size_t kLookback = 12;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li];
+    std::size_t p = 0;
+    while ((p = s.find("->on_event", p)) != std::string::npos) {
+      const std::size_t after = p + std::string("->on_event").size();
+      if (after >= s.size() || s[after] != '(') {
+        ++p;
+        continue;
+      }
+      const std::string recv = ident_before(s, p);
+      bool guarded = false;
+      if (!recv.empty()) {
+        const std::size_t start = li >= kLookback ? li - kLookback : 0;
+        for (std::size_t l = start; l <= li && !guarded; ++l) {
+          const std::string& g = lines[l];
+          const std::size_t limit = l == li ? p : g.size();
+          const std::string head = g.substr(0, limit);
+          if (find_token(head, "if") != std::string::npos &&
+              find_token(head, recv) != std::string::npos) {
+            guarded = true;
+          }
+        }
+      }
+      if (!guarded) {
+        add(out, path, static_cast<unsigned>(li + 1), RuleId::kTapGuard,
+            "CheckSink tap `" + (recv.empty() ? std::string("<expr>") : recv) +
+                "->on_event(...)` without a visible null guard: taps are "
+                "default-null (src/check/events.hpp); guard with `if (" +
+                (recv.empty() ? std::string("sink") : recv) +
+                " != nullptr)` or route through a null-checking helper");
+      }
+      ++p;
+    }
+  }
+}
+
+void rule_hot_alloc(const std::string& path,
+                    const std::vector<std::string>& lines,
+                    const std::vector<LineContext>& ctx,
+                    std::vector<Finding>& out) {
+  static const char* kGrowth[] = {
+      "push_back",    "emplace_back", "push_front", "emplace_front",
+      "emplace",      "insert",       "resize",     "reserve",
+  };
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (!ctx[li].hot) continue;
+    const std::string& s = lines[li];
+    const unsigned ln = static_cast<unsigned>(li + 1);
+    const std::string where =
+        "` in per-cycle function `" + ctx[li].func +
+        "`: preallocate at construction or hoist off the hot path";
+    {
+      std::size_t p = 0;
+      while ((p = find_token(s, "new", p)) != std::string::npos) {
+        std::size_t q = p + 3;
+        while (q < s.size() && s[q] == ' ') ++q;
+        if (q < s.size() &&
+            (ident_char(s[q]) || s[q] == '(' || s[q] == '[')) {
+          add(out, path, ln, RuleId::kHotAlloc,
+              "heap allocation `new" + where);
+        }
+        ++p;
+      }
+    }
+    for (const char* fn : {"make_unique", "make_shared"}) {
+      if (find_token(s, fn) != std::string::npos) {
+        add(out, path, ln, RuleId::kHotAlloc,
+            std::string("heap allocation `") + fn + where);
+      }
+    }
+    for (const char* m : kGrowth) {
+      std::size_t p = 0;
+      while ((p = find_call(s, m, p)) != std::string::npos) {
+        const bool member =
+            (p >= 1 && s[p - 1] == '.') ||
+            (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>');
+        if (member) {
+          add(out, path, ln, RuleId::kHotAlloc,
+              std::string("container growth `") + m + where);
+        }
+        ++p;
+      }
+    }
+  }
+}
+
+void rule_assert_discipline(const std::string& path,
+                            const std::vector<std::string>& lines,
+                            std::vector<Finding>& out) {
+  const std::string rel = norm_rel(path);
+  if (rel == "src/common/assert.hpp") return;  // the macros' home
+  auto side_effect = [](const std::string& arg) -> const char* {
+    for (std::size_t i = 0; i + 1 < arg.size(); ++i) {
+      if (arg[i] == '+' && arg[i + 1] == '+') return "increment";
+      if (arg[i] == '-' && arg[i + 1] == '-') return "decrement";
+    }
+    for (std::size_t i = 0; i < arg.size(); ++i) {
+      if (arg[i] != '=') continue;
+      const char prev = i > 0 ? arg[i - 1] : ' ';
+      const char next = i + 1 < arg.size() ? arg[i + 1] : ' ';
+      if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+          prev == '>') {
+        if (next == '=') ++i;  // skip the comparison's second '='
+        continue;
+      }
+      return "assignment";
+    }
+    return nullptr;
+  };
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& s = lines[li];
+    const unsigned ln = static_cast<unsigned>(li + 1);
+    if (find_call(s, "abort") != std::string::npos) {
+      add(out, path, ln, RuleId::kAssertDiscipline,
+          "raw abort(): use NTC_ASSERT/NTC_CHECK_MSG "
+          "(src/common/assert.hpp) so the failure reports file, line "
+          "and context");
+    }
+    for (const char* a : {"assert", "NTC_ASSERT", "NTC_CHECK_MSG"}) {
+      const std::size_t p = find_call(s, a);
+      if (p == std::string::npos) continue;
+      // First argument: balanced to the top-level ',' or ')', joining a
+      // few continuation lines for multi-line conditions.
+      std::string arg;
+      int depth = 0;
+      bool done = false;
+      for (std::size_t l = li; l < lines.size() && l < li + 5 && !done; ++l) {
+        const std::string& t = lines[l];
+        for (std::size_t i = l == li ? t.find('(', p) : 0; i < t.size(); ++i) {
+          const char c = t[i];
+          if (c == '(') {
+            if (++depth == 1) continue;
+          }
+          if (c == ')' && --depth == 0) {
+            done = true;
+            break;
+          }
+          if (c == ',' && depth == 1) {
+            done = true;
+            break;
+          }
+          arg.push_back(c);
+        }
+        arg.push_back(' ');
+      }
+      if (const char* kind = side_effect(arg)) {
+        add(out, path, ln, RuleId::kAssertDiscipline,
+            std::string(a) + " condition contains an " + kind +
+                ": NTC_ASSERT stays on in release builds, so the "
+                "condition must be pure — hoist the mutation out");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void lex_scan_file(const std::string& path, const std::string& text,
+                   const std::vector<bool>& enabled,
+                   std::vector<Finding>& out) {
+  std::vector<std::string> lines = split_lines(sanitize(text));
+  blank_directives(lines);
+  const std::vector<LineContext> ctx = build_contexts(lines);
+  auto on = [&](RuleId id) {
+    return enabled[static_cast<std::size_t>(id)];
+  };
+  if (on(RuleId::kDeterminism)) rule_determinism(path, lines, out);
+  if (on(RuleId::kHotStats)) rule_hot_stats(path, lines, ctx, out);
+  if (on(RuleId::kMechanismSeam)) rule_mechanism_seam(path, lines, out);
+  if (on(RuleId::kTapGuard)) rule_tap_guard(path, lines, out);
+  if (on(RuleId::kHotAlloc)) rule_hot_alloc(path, lines, ctx, out);
+  if (on(RuleId::kAssertDiscipline)) rule_assert_discipline(path, lines, out);
+}
+
+}  // namespace ntclint

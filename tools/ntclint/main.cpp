@@ -1,0 +1,326 @@
+// ntclint driver: file collection (explicit paths or the CMake compile
+// database), backend dispatch, suppression + baseline filtering and the
+// structured diagnostic output. See ntclint.hpp for the design and
+// docs/ARCHITECTURE.md ("Static invariants (ntclint)") for the rules.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cli_help.hpp"
+#include "ntclint.hpp"
+
+namespace ntclint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string build_dir;
+  std::vector<std::string> scopes;  // default src/, tools/
+  std::vector<std::string> only_rules;
+  std::string baseline;
+  std::string write_baseline;
+  std::string backend = "both";
+  bool list_rules = false;
+  bool fix_suggestions = false;
+  bool quiet = false;
+};
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".cc" || e == ".cxx" || e == ".hpp" || e == ".h";
+}
+
+void collect_dir(const fs::path& dir, std::vector<std::string>& out) {
+  for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+    const std::string name = it->path().filename().string();
+    if (it->is_directory() && (name == "build" || name.rfind('.', 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && has_source_ext(it->path())) {
+      out.push_back(it->path().string());
+    }
+  }
+}
+
+/// Minimal compile_commands.json reader: extracts every "file" value.
+/// The format is machine-written by CMake, so a targeted scan beats a
+/// JSON dependency the toolchain image may not have.
+bool compile_db_files(const std::string& build_dir,
+                      std::vector<std::string>& out) {
+  std::ifstream in(build_dir + "/compile_commands.json");
+  if (!in.good()) return false;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  const std::string text = oss.str();
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == ':')) ++pos;
+    if (pos >= text.size() || text[pos] != '"') continue;
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      value.push_back(text[pos++]);
+    }
+    out.push_back(value);
+  }
+  return true;
+}
+
+bool in_scope(const std::string& path, const std::vector<std::string>& scopes) {
+  const std::string rel = norm_rel(path);
+  for (const std::string& s : scopes) {
+    if (rel.compare(0, s.size(), s) == 0) return true;
+  }
+  return false;
+}
+
+int usage_error(const std::string& msg) {
+  std::cerr << "ntclint: error: " << msg << "\n\n" << kNtclintHelp;
+  return 2;
+}
+
+void print_rules() {
+  for (std::size_t i = 0; i < num_rules(); ++i) {
+    const RuleInfo& r = rules()[i];
+    std::cout << "ntclint-" << r.name << "\n"
+              << "  " << r.summary << "\n"
+              << "  why: " << r.rationale << "\n"
+              << "  fix: " << r.fix << "\n";
+  }
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&a](const char* flag) -> std::string {
+      return a.substr(std::strlen(flag));
+    };
+    if (a == "--help" || a == "-h") {
+      std::cout << kNtclintHelp;
+      return 0;
+    } else if (a == "--list-rules") {
+      opt.list_rules = true;
+    } else if (a == "--fix-suggestions") {
+      opt.fix_suggestions = true;
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (a == "-p") {
+      if (++i >= argc) return usage_error("-p needs a build directory");
+      opt.build_dir = argv[i];
+    } else if (a.rfind("--scope=", 0) == 0) {
+      opt.scopes.push_back(value("--scope="));
+    } else if (a.rfind("--rule=", 0) == 0) {
+      opt.only_rules.push_back(value("--rule="));
+    } else if (a.rfind("--baseline=", 0) == 0) {
+      opt.baseline = value("--baseline=");
+    } else if (a.rfind("--write-baseline=", 0) == 0) {
+      opt.write_baseline = value("--write-baseline=");
+    } else if (a.rfind("--backend=", 0) == 0) {
+      opt.backend = value("--backend=");
+      if (opt.backend != "lex" && opt.backend != "ast" &&
+          opt.backend != "both") {
+        return usage_error("--backend must be lex, ast or both");
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      return usage_error("unknown option " + a);
+    } else {
+      opt.paths.push_back(a);
+    }
+  }
+
+  if (opt.list_rules) {
+    print_rules();
+    return 0;
+  }
+
+  std::vector<bool> enabled(num_rules(), opt.only_rules.empty());
+  // bad-suppress is a meta rule: always on, it guards the suppression
+  // mechanism every other rule depends on.
+  enabled[static_cast<std::size_t>(RuleId::kBadSuppress)] = true;
+  for (const std::string& name : opt.only_rules) {
+    RuleId id{};
+    if (!parse_rule(name, id)) return usage_error("unknown rule " + name);
+    enabled[static_cast<std::size_t>(id)] = true;
+  }
+
+  // ------------------------------------------------------------------ files
+  std::vector<std::string> files;
+  for (const std::string& p : opt.paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      collect_dir(p, files);
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      return usage_error("no such file or directory: " + p);
+    }
+  }
+  if (files.empty() && !opt.build_dir.empty()) {
+    if (!compile_db_files(opt.build_dir, files)) {
+      return usage_error("cannot read " + opt.build_dir +
+                         "/compile_commands.json (configure with "
+                         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)");
+    }
+    if (opt.scopes.empty()) opt.scopes = {"src/", "tools/"};
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [&](const std::string& f) {
+                                 return !in_scope(f, opt.scopes);
+                               }),
+                files.end());
+  }
+  if (files.empty()) {
+    return usage_error("nothing to scan: pass files/directories or -p DIR");
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // ------------------------------------------------------------------- scan
+  const bool want_ast = opt.backend != "lex";
+  const bool want_lex = opt.backend != "ast";
+  if (opt.backend == "ast" && !ast_available()) {
+    return usage_error(
+        "--backend=ast requested but this binary was built without the "
+        "Clang ASTMatchers backend (reconfigure with -DNTC_LINT=ON "
+        "against the pinned LLVM; see tools/ntclint/CMakeLists.txt)");
+  }
+
+  std::map<std::string, std::vector<std::string>> raw_lines;
+  std::map<std::string, std::vector<Suppression>> suppressions;
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    std::ifstream in(f);
+    if (!in.good()) {
+      std::cerr << "ntclint: error: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    const std::string text = oss.str();
+    {
+      std::vector<std::string>& lines = raw_lines[f];
+      std::istringstream ls(text);
+      std::string line;
+      while (std::getline(ls, line)) lines.push_back(line);
+    }
+    suppressions[f] = scan_suppressions(text);
+    for (const Suppression& s : suppressions[f]) {
+      if (s.malformed &&
+          enabled[static_cast<std::size_t>(RuleId::kBadSuppress)]) {
+        Finding bad;
+        bad.file = f;
+        bad.line = s.line;
+        bad.id = RuleId::kBadSuppress;
+        bad.message = "malformed suppression: " + s.detail;
+        findings.push_back(bad);
+      }
+    }
+    if (want_lex) lex_scan_file(f, text, enabled, findings);
+  }
+  if (want_ast && ast_available()) {
+    ast_scan(files, opt.build_dir, enabled, findings);
+  }
+
+  // -------------------------------------------- dedupe, suppress, baseline
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.id, a.message) <
+                     std::tie(b.file, b.line, b.id, b.message);
+            });
+  {
+    // The two backends may report the same site; one diagnostic per
+    // (file, line, rule) is enough.
+    std::set<std::string> seen;
+    findings.erase(
+        std::remove_if(findings.begin(), findings.end(),
+                       [&](const Finding& f) {
+                         const std::string k = norm_rel(f.file) + ":" +
+                                               std::to_string(f.line) + ":" +
+                                               rule(f.id).name;
+                         return !seen.insert(k).second;
+                       }),
+        findings.end());
+  }
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return is_suppressed(f, suppressions[f.file]);
+                                }),
+                 findings.end());
+
+  auto source_line = [&](const Finding& f) -> std::string {
+    const std::vector<std::string>& lines = raw_lines[f.file];
+    return f.line >= 1 && f.line <= lines.size() ? lines[f.line - 1] : "";
+  };
+
+  if (!opt.write_baseline.empty()) {
+    std::ofstream out(opt.write_baseline);
+    if (!out.good()) {
+      return usage_error("cannot write " + opt.write_baseline);
+    }
+    out << "# ntclint baseline: legacy findings tolerated by CI.\n"
+        << "# One per line: rule|file|normalized source line. Shrink it;\n"
+        << "# never grow it — fix or `ntclint-suppress` new findings.\n";
+    std::vector<std::string> keys;
+    for (const Finding& f : findings) {
+      keys.push_back(Baseline::key(f, source_line(f)));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& k : keys) out << k << "\n";
+    if (!opt.quiet) {
+      std::cout << "ntclint: wrote " << keys.size() << " baseline entr"
+                << (keys.size() == 1 ? "y" : "ies") << " to "
+                << opt.write_baseline << "\n";
+    }
+    return 0;
+  }
+
+  Baseline baseline;
+  if (!opt.baseline.empty() && !baseline.load(opt.baseline)) {
+    std::cerr << "ntclint: warning: baseline " << opt.baseline
+              << " not found; treating every finding as new\n";
+  }
+  std::size_t fresh = 0;
+  for (Finding& f : findings) {
+    f.baselined = baseline.match(f, source_line(f));
+    if (!f.baselined) ++fresh;
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [ntclint-" << rule(f.id).name
+              << "] " << f.message << (f.baselined ? " (baselined)" : "")
+              << "\n";
+    if (opt.fix_suggestions) {
+      std::cout << "    suggestion: " << rule(f.id).fix << "\n";
+    }
+  }
+  if (!opt.quiet) {
+    std::cout << "ntclint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " ("
+              << findings.size() - fresh << " baselined) across "
+              << files.size() << " files ["
+              << (want_ast && ast_available() ? (want_lex ? "lex+ast" : "ast")
+                                              : "lex")
+              << " backend]\n";
+  }
+  return fresh == 0 ? 0 : 1;
+}
+
+}  // namespace ntclint
+
+int main(int argc, char** argv) { return ntclint::run(argc, argv); }

@@ -1,0 +1,141 @@
+// ntclint — domain-specific static analysis for the ntcsim codebase.
+//
+// Generic linters (clang-tidy, cppcheck) know C++; they do not know this
+// repo's contracts: bit-identical --jobs=N determinism, stat handles
+// resolved once at construction, the DomainRegistry mechanism seam, the
+// default-null CheckSink tap discipline. ntclint makes those contracts
+// machine-checked on every compile unit instead of spot-checked by
+// individual regression tests.
+//
+// Two backends share one rule set, one diagnostic format, one
+// suppression syntax and one baseline format:
+//
+//  * lex  — a dependency-free lexical analyzer (comment/string-aware
+//           scanner with a function/class context tracker). Always
+//           built, so the rules run in tier-1 ctest on any toolchain.
+//  * ast  — Clang LibTooling + ASTMatchers (type-accurate receivers,
+//           enum types, ancestor guards). Built when the tree is
+//           configured with -DNTC_LINT=ON against the pinned LLVM
+//           major (tools/ntclint/CMakeLists.txt); CI installs the apt
+//           Clang dev packages and runs this backend over the full
+//           compile database.
+//
+// Diagnostics: `file:line: [ntclint-<rule>] message`.
+// Suppressions: `// ntclint-suppress(<rule>[,<rule>...]): reason` on the
+// offending line or the line directly above it; `ntclint-suppress-file`
+// anywhere in the file suppresses the rule for the whole file. A
+// suppression without a reason is itself a finding (ntclint-bad-suppress).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ntclint {
+
+// Rule identifiers. Keep in sync with kRules in rules.cpp; RuleId
+// indexes that table directly.
+enum class RuleId {
+  kDeterminism = 0,     ///< nondeterminism feeding Metrics/CSV output
+  kHotStats,            ///< by-name stat access outside constructors
+  kMechanismSeam,       ///< Mechanism dispatch outside src/persist/
+  kTapGuard,            ///< unguarded CheckSink tap callsite
+  kHotAlloc,            ///< allocation/container growth on the hot path
+  kAssertDiscipline,    ///< side-effectful asserts / raw abort()
+  kBadSuppress,         ///< malformed ntclint suppression comment
+  kNumRules,
+};
+
+struct RuleInfo {
+  RuleId id;
+  const char* name;       ///< diagnostic tag: [ntclint-<name>]
+  const char* summary;    ///< one line, shown by --list-rules
+  const char* rationale;  ///< which repo contract this defends
+  const char* fix;        ///< shown by --fix-suggestions
+};
+
+/// The rule table, indexed by RuleId.
+const RuleInfo* rules();
+std::size_t num_rules();
+const RuleInfo& rule(RuleId id);
+/// Name -> rule lookup ("determinism", not "ntclint-determinism").
+/// Returns false and leaves `out` untouched for unknown names.
+bool parse_rule(const std::string& name, RuleId& out);
+
+struct Finding {
+  std::string file;   ///< path as given on the command line
+  unsigned line = 0;  ///< 1-based
+  RuleId id = RuleId::kDeterminism;
+  std::string message;
+  bool baselined = false;  ///< matched the loaded baseline (legacy debt)
+};
+
+/// One parsed `ntclint-suppress` comment.
+struct Suppression {
+  unsigned line = 0;      ///< 1-based line of the comment
+  RuleId id = RuleId::kDeterminism;
+  bool whole_file = false;
+  bool malformed = false;  ///< missing/empty reason, unknown rule name
+  std::string detail;      ///< for malformed: what is wrong
+};
+
+/// Scan raw (un-sanitized) file text for suppression comments.
+std::vector<Suppression> scan_suppressions(const std::string& text);
+
+/// True if `f` is covered by a suppression (same line, line above, or
+/// whole-file). kBadSuppress findings are never suppressible.
+bool is_suppressed(const Finding& f, const std::vector<Suppression>& sup);
+
+/// Path normalization for baseline keys and the seam/path exemptions:
+/// the path suffix from the last `src/`, `tools/`, `tests/` or `bench/`
+/// component, else the basename. Keeps the baseline stable across build
+/// trees and absolute/relative invocation.
+std::string norm_rel(const std::string& path);
+
+/// Baseline file: one finding per line, `rule|norm_rel|normalized text`
+/// where the text is the offending source line with whitespace runs
+/// collapsed (so line-number drift does not invalidate an entry).
+class Baseline {
+ public:
+  /// Load from `path`. Missing file -> empty baseline, returns false.
+  bool load(const std::string& path);
+  /// Consume a matching entry if present (multiset semantics).
+  bool match(const Finding& f, const std::string& source_line);
+  static std::string key(const Finding& f, const std::string& source_line);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::string> entries_;  // unmatched keys
+};
+
+/// Replace comments, string and character literals with spaces,
+/// preserving line structure, so token scans cannot fire inside text.
+std::string sanitize(const std::string& text);
+
+/// Per-line analysis context produced by the lexical scanner's
+/// function/class tracker.
+struct LineContext {
+  std::string func;     ///< innermost enclosing function name ("" at file scope)
+  bool in_ctor = false; ///< inside a constructor (incl. its init list)
+  bool hot = false;     ///< function named tick/step/advance or NTC_HOT
+};
+
+/// Run every (selected) rule over one file's text. `path` decides the
+/// path-scoped exemptions (src/persist/ for mechanism-seam,
+/// src/common/assert.hpp for abort). `enabled` has kNumRules entries.
+/// Appends findings (not yet suppression/baseline-filtered).
+void lex_scan_file(const std::string& path, const std::string& text,
+                   const std::vector<bool>& enabled,
+                   std::vector<Finding>& out);
+
+/// AST backend entry point; defined in ast_backend.cpp when the tree is
+/// configured with NTC_LINT=ON, stubbed (returns false) otherwise.
+/// `build_dir` empty -> fixed -std=c++20 flags (standalone fixtures).
+/// Returns true if the backend ran; diagnostics from unparseable TUs go
+/// to stderr but do not abort the scan.
+bool ast_scan(const std::vector<std::string>& files,
+              const std::string& build_dir, const std::vector<bool>& enabled,
+              std::vector<Finding>& out);
+bool ast_available();
+
+}  // namespace ntclint

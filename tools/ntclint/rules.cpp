@@ -1,0 +1,102 @@
+// The rule registry: names, one-line summaries, the repo contract each
+// rule defends, and the canonical fix. docs/ARCHITECTURE.md ("Static
+// invariants (ntclint)") lists the same rules; tests/test_ntclint.cpp
+// cross-checks the two in both directions, so the table and the
+// documentation cannot drift apart silently.
+#include "ntclint.hpp"
+
+namespace ntclint {
+namespace {
+
+const RuleInfo kRules[] = {
+    {RuleId::kDeterminism, "determinism",
+     "nondeterministic sources (rand/random_device/wall clocks, "
+     "pointer-keyed unordered containers) in simulator code",
+     "every metric must be bit-identical at any --jobs=N and across "
+     "machines (tests/test_sweep.cpp, tests/test_determinism.cpp); a "
+     "single wall-clock read or pointer-order iteration that feeds "
+     "Metrics/CSV breaks the contract on rarely-taken paths no test "
+     "exercises",
+     "use ntcsim::Rng (src/common/rng.hpp) seeded from the cell, key "
+     "containers by Addr/TxId/stable ids, and derive time from the "
+     "simulated Cycle clock; self-profiling code may suppress with a "
+     "reason"},
+    {RuleId::kHotStats, "hot-stats",
+     "by-name StatSet access (counter/counter_value/histogram/...) "
+     "outside a constructor",
+     "components resolve stats once at construction and bump raw "
+     "pointers afterwards (src/common/stat_handle.hpp); a by-name "
+     "lookup on a per-access path is an O(log n) map walk the PR-2 "
+     "hot-path rework removed",
+     "resolve a StatHandle in the constructor and bump it at the use "
+     "site; post-run report/energy code may suppress with a reason"},
+    {RuleId::kMechanismSeam, "mechanism-seam",
+     "switch/if-chain dispatch on Mechanism outside src/persist/",
+     "mechanism behaviour lives behind persist::PersistenceDomain and "
+     "the DomainRegistry (PR 3); a switch elsewhere silently misses "
+     "registry-registered mechanisms such as tc-nodrain and every "
+     "future extension",
+     "move the behaviour into the domain class (or a new virtual on "
+     "PersistenceDomain) and dispatch through the registry"},
+    {RuleId::kTapGuard, "tap-guard",
+     "CheckSink tap callsite (->on_event) without a null guard",
+     "taps are default-null so the measured path pays one pointer test "
+     "(src/check/events.hpp); an unguarded call crashes every run "
+     "configured with the checker off — exactly the measured configs",
+     "guard with `if (sink_ != nullptr)` (or route through a helper "
+     "that does) before calling on_event"},
+    {RuleId::kHotAlloc, "hot-alloc",
+     "allocation or container growth inside tick/step/advance or an "
+     "NTC_HOT-annotated function",
+     "per-cycle allocation dominated the pre-PR-2 profile; the "
+     "tick/step/advance family runs every simulated cycle, so a "
+     "new/make_unique/push_back there is a per-cycle malloc the perf "
+     "ratchet will eventually catch — much later and more expensively",
+     "preallocate in the constructor (reserve/resize at setup), reuse "
+     "pooled entries, or hoist the growth off the per-cycle path; "
+     "amortized growth may suppress with a reason"},
+    {RuleId::kAssertDiscipline, "assert-discipline",
+     "assert/NTC_ASSERT/NTC_CHECK_MSG conditions with side effects, or "
+     "raw abort() outside src/common/assert.hpp",
+     "NTC_ASSERT stays on in release builds (src/common/assert.hpp), "
+     "so a side-effectful condition changes simulation state; a raw "
+     "abort() skips the file:line context that makes invariant "
+     "failures actionable",
+     "hoist the mutation out of the condition; replace abort() with "
+     "NTC_ASSERT/NTC_CHECK_MSG so the failure says where and why"},
+    {RuleId::kBadSuppress, "bad-suppress",
+     "malformed ntclint-suppress comment (unknown rule or missing "
+     "reason)",
+     "a suppression is a reviewed exemption; one without a reason (or "
+     "naming a rule that does not exist) is indistinguishable from a "
+     "stale copy-paste and silently widens the exemption",
+     "write `// ntclint-suppress(<rule>): <why this site is exempt>`"},
+};
+
+static_assert(sizeof(kRules) / sizeof(kRules[0]) ==
+                  static_cast<std::size_t>(RuleId::kNumRules),
+              "rule table out of sync with RuleId");
+
+}  // namespace
+
+const RuleInfo* rules() { return kRules; }
+
+std::size_t num_rules() {
+  return static_cast<std::size_t>(RuleId::kNumRules);
+}
+
+const RuleInfo& rule(RuleId id) {
+  return kRules[static_cast<std::size_t>(id)];
+}
+
+bool parse_rule(const std::string& name, RuleId& out) {
+  for (const RuleInfo& r : kRules) {
+    if (name == r.name) {
+      out = r.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ntclint

@@ -1,0 +1,311 @@
+// Backend-independent plumbing: comment/string sanitizer, suppression
+// parsing, path normalization and the baseline file.
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "ntclint.hpp"
+
+namespace ntclint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Collapse whitespace runs to single spaces and trim, so baseline
+/// entries survive reformatting and line moves.
+std::string normalize_ws(const std::string& s) {
+  std::string out;
+  bool in_ws = true;  // trims leading whitespace
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!in_ws) out.push_back(' ');
+      in_ws = true;
+    } else {
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  if (out.size() > 160) out.resize(160);
+  return out;
+}
+
+}  // namespace
+
+std::string sanitize(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || !ident_char(text[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          raw_delim.clear();
+          while (p < text.size() && text[p] != '(') raw_delim += text[p++];
+          out.append(p + 1 - i, ' ');
+          i = p;  // at '(' (or end)
+          st = St::kRaw;
+        } else if (c == '"') {
+          st = St::kString;
+          out += ' ';
+        } else if (c == '\'' && !(i > 0 && ident_char(text[i - 1]))) {
+          // skip digit separators (1'000'000): a quote directly after an
+          // identifier/number char is not a character literal
+          st = St::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && n != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && n != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          out.append(close.size(), ' ');
+          i += close.size() - 1;
+          st = St::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Suppression> scan_suppressions(const std::string& text) {
+  std::vector<Suppression> out;
+  // Suppressions live in comments only; blank string/char literals so
+  // help text or test fixtures that *mention* the syntax cannot
+  // register one. (sanitize() keeps literal spans' line structure, so
+  // positions of the surviving comment text still line up.)
+  std::string comments;
+  {
+    enum class St { kCode, kLine, kBlock, kStr, kChr };
+    St st = St::kCode;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+      char emit = c == '\n' ? '\n' : ' ';
+      switch (st) {
+        case St::kCode:
+          if (c == '/' && n == '/') st = St::kLine;
+          else if (c == '/' && n == '*') st = St::kBlock;
+          else if (c == '"') st = St::kStr;
+          else if (c == '\'' && !(i > 0 && ident_char(text[i - 1])))
+            st = St::kChr;
+          if (st == St::kLine || st == St::kBlock) emit = c;
+          break;
+        case St::kLine:
+          if (c == '\n') st = St::kCode;
+          emit = c;
+          break;
+        case St::kBlock:
+          if (c == '*' && n == '/') {
+            st = St::kCode;
+            comments += "*/";
+            ++i;
+            continue;
+          }
+          emit = c;
+          break;
+        case St::kStr:
+          if (c == '\\' && n != '\0') ++i;
+          else if (c == '"') st = St::kCode;
+          break;
+        case St::kChr:
+          if (c == '\\' && n != '\0') ++i;
+          else if (c == '\'') st = St::kCode;
+          break;
+      }
+      comments += emit;
+    }
+  }
+  std::istringstream in(comments);
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t pos = line.find("ntclint-suppress");
+    if (pos == std::string::npos) continue;
+    pos += std::string("ntclint-suppress").size();
+    bool whole_file = false;
+    if (line.compare(pos, 5, "-file") == 0) {
+      whole_file = true;
+      pos += 5;
+    }
+    // A prose mention ("use ntclint-suppress here") is not a
+    // suppression attempt; only the parenthesized form arms the parser.
+    if (pos >= line.size() || line[pos] != '(') continue;
+    // Documentation showing the syntax uses <rule>/[...] placeholders.
+    const std::size_t probe_close = line.find(')', pos);
+    if (probe_close != std::string::npos &&
+        line.find_first_of("<>[]", pos) < probe_close) {
+      continue;
+    }
+    Suppression bad;
+    bad.line = lineno;
+    bad.whole_file = whole_file;
+    bad.malformed = true;
+    const std::size_t close = line.find(')', pos);
+    if (close == std::string::npos) {
+      bad.detail = "unterminated rule list";
+      out.push_back(bad);
+      continue;
+    }
+    // Reason: everything after "): ", must be non-empty.
+    std::string reason = line.substr(close + 1);
+    if (!reason.empty() && reason[0] == ':') reason.erase(0, 1);
+    const auto ws_end = reason.find_last_not_of(" \t\r");
+    reason = ws_end == std::string::npos ? "" : reason.substr(0, ws_end + 1);
+    const auto ws_begin = reason.find_first_not_of(" \t");
+    reason = ws_begin == std::string::npos ? "" : reason.substr(ws_begin);
+    if (reason.empty()) {
+      bad.detail = "missing reason after `):`";
+      out.push_back(bad);
+      continue;
+    }
+    // Rule list.
+    std::string list = line.substr(pos + 1, close - pos - 1);
+    std::istringstream ls(list);
+    std::string name;
+    bool any = false;
+    while (std::getline(ls, name, ',')) {
+      const auto b = name.find_first_not_of(" \t");
+      const auto e = name.find_last_not_of(" \t");
+      name = b == std::string::npos ? "" : name.substr(b, e - b + 1);
+      RuleId id{};
+      if (!parse_rule(name, id) || id == RuleId::kBadSuppress) {
+        bad.detail = "unknown rule `" + name + "`";
+        out.push_back(bad);
+        continue;
+      }
+      Suppression s;
+      s.line = lineno;
+      s.id = id;
+      s.whole_file = whole_file;
+      out.push_back(s);
+      any = true;
+    }
+    if (!any && bad.detail.empty()) {
+      bad.detail = "empty rule list";
+      out.push_back(bad);
+    }
+  }
+  return out;
+}
+
+bool is_suppressed(const Finding& f, const std::vector<Suppression>& sup) {
+  if (f.id == RuleId::kBadSuppress) return false;
+  for (const Suppression& s : sup) {
+    if (s.malformed || s.id != f.id) continue;
+    if (s.whole_file) return true;
+    if (s.line == f.line || s.line + 1 == f.line) return true;
+  }
+  return false;
+}
+
+std::string norm_rel(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  static const char* kRoots[] = {"src/", "tools/", "tests/", "bench/"};
+  std::size_t best = std::string::npos;
+  for (const char* r : kRoots) {
+    // Last occurrence that starts a path component.
+    std::size_t pos = p.rfind(r);
+    while (pos != std::string::npos && pos != 0 && p[pos - 1] != '/') {
+      pos = pos == 0 ? std::string::npos : p.rfind(r, pos - 1);
+    }
+    if (pos != std::string::npos && (best == std::string::npos || pos > best)) {
+      best = pos;
+    }
+  }
+  if (best != std::string::npos) return p.substr(best);
+  const std::size_t slash = p.find_last_of('/');
+  return slash == std::string::npos ? p : p.substr(slash + 1);
+}
+
+std::string Baseline::key(const Finding& f, const std::string& source_line) {
+  return std::string(rule(f.id).name) + "|" + norm_rel(f.file) + "|" +
+         normalize_ws(source_line);
+}
+
+bool Baseline::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    entries_.push_back(line);
+  }
+  return true;
+}
+
+bool Baseline::match(const Finding& f, const std::string& source_line) {
+  const std::string k = key(f, source_line);
+  auto it = std::find(entries_.begin(), entries_.end(), k);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace ntclint
