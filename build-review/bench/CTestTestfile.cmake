@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_fig6_ipc "/root/repo/build-review/bench/bench_fig6_ipc" "0.02")
+set_tests_properties(smoke_bench_fig6_ipc PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;34;ntc_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablation_replacement "/root/repo/build-review/bench/bench_ablation_replacement" "0.05" "--jobs=4")
+set_tests_properties(smoke_bench_ablation_replacement PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;35;ntc_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ext_wear "/root/repo/build-review/bench/bench_ext_wear" "0.02")
+set_tests_properties(smoke_bench_ext_wear PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;36;ntc_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_tail_latency "/root/repo/build-review/bench/bench_tail_latency" "0.02" "--jobs=4")
+set_tests_properties(smoke_bench_tail_latency PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;37;ntc_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_cluster_scaling "/root/repo/build-review/bench/bench_cluster_scaling" "0.02" "--jobs=4")
+set_tests_properties(smoke_bench_cluster_scaling PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;38;ntc_smoke;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("check")
+subdirs("mem")
+subdirs("cache")
+subdirs("core")
+subdirs("txcache")
+subdirs("persist")
+subdirs("recovery")
+subdirs("workload")
+subdirs("sim")
+subdirs("topo")
+subdirs("faultsim")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_ntcsim_serve "/root/repo/build-review/tools/ntcsim" "--serve" "--rate=2" "--requests=60" "--workload=hashtable" "--preset=tiny" "--setup=128" "--csv")
+set_tests_properties(smoke_ntcsim_serve PROPERTIES  LABELS "smoke" PASS_REGULAR_EXPRESSION "req_latency_p999" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+subdirs("ntclint")
