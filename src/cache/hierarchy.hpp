@@ -21,6 +21,7 @@
 #include "check/events.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/hot.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -91,6 +92,14 @@ class Hierarchy {
 
   /// True when no miss or write-back is outstanding (used to drain runs).
   bool quiesced() const;
+
+  /// Earliest cycle > now at which tick() could do work (quiescence
+  /// contract): any outstanding miss or queued write-back pins now + 1
+  /// (retry loops, and the completion callbacks read the tick-fresh
+  /// clock); a quiesced hierarchy is purely event-driven — kNeverCycle.
+  NTC_HOT Cycle next_event_cycle(Cycle now) const {
+    return quiesced() ? kNeverCycle : now + 1;
+  }
 
   HierarchyHooks& hooks() { return hooks_; }
   /// Persistence-order checker tap (null = off): accepted persistent

@@ -79,6 +79,11 @@ SystemConfig SystemConfig::tiny() {
   // here rather than skewing figures. The checker only observes, so golden
   // numbers are unchanged; measured presets (paper/experiment) stay off.
   c.check = CheckMode::kFatal;
+  // ... and under skip verification: every clock jump is cross-checked by
+  // single-stepping the gap, even in Release unit-test runs. A component
+  // returning a too-late next_event_cycle() fails here loudly instead of
+  // silently corrupting measured figures.
+  c.skip.verify = true;
   return c;
 }
 

@@ -238,12 +238,31 @@ struct NodeConfig {
 #endif
 };
 
+/// Quiescence-aware clock advance (topo::Cluster). When every component
+/// reports itself idle until some future cycle, the cluster jumps the
+/// shared clock there instead of ticking through the gap. Skipped cycles
+/// are provably no-ops, so all observable output is bit-identical with
+/// skipping on or off (`--no-skip` is the escape hatch / A-B probe).
+struct SkipConfig {
+  bool enabled = true;
+  /// Cross-check mode: compute each jump target, then single-step the gap
+  /// anyway and fail loudly if any supposedly-idle cycle did work (a
+  /// too-late next_event_cycle is a real bug). Debug builds verify by
+  /// default; release builds (the measured perf path) trust the jump.
+#ifndef NDEBUG
+  bool verify = true;
+#else
+  bool verify = false;
+#endif
+};
+
 /// Whole-experiment configuration: the per-node machine (inherited — every
 /// `cfg.cores`-style access keeps working) plus cluster topology and the
 /// crash-campaign knobs that never vary per node.
 struct SystemConfig : public NodeConfig {
   CrashCampaignConfig crash;
   TopoConfig topo;
+  SkipConfig skip;
 
   /// Table 2 configuration verbatim.
   static SystemConfig paper();

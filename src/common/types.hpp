@@ -13,6 +13,12 @@ namespace ntcsim {
 /// clock domain (see DESIGN.md §2: clock-domain substitution).
 using Cycle = std::uint64_t;
 
+/// "No self-scheduled event": a component whose next_event_cycle() returns
+/// this is idle until some external input (event-queue callback, another
+/// component's tick) wakes it. See docs/ARCHITECTURE.md "Clock advance &
+/// quiescence".
+inline constexpr Cycle kNeverCycle = ~static_cast<Cycle>(0);
+
 /// Simulated physical byte address.
 using Addr = std::uint64_t;
 

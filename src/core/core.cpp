@@ -370,6 +370,31 @@ void Core::tick(Cycle now) {
   fetch_(now);
 }
 
+Cycle Core::next_event_cycle(Cycle now) const {
+  // Not ticked yet: the first tick establishes trace_base_, which is a
+  // state change in itself.
+  if (!trace_base_valid_) return now + 1;
+  // Any buffered work keeps the core on the per-cycle path: retire/drain
+  // progress and the stall counters (coreN.stall.*, ntc_stall_cycles) are
+  // observable every blocked cycle.
+  if (!rob_.empty() || !sb_.empty() || !nt_pending_.empty()) return now + 1;
+  if (trace_ == nullptr || cursor_ >= trace_->size()) {
+    // Trace done, buffers empty. An open write-combining line flushes on
+    // its own (WC timeout) at the next tick; after that only flush acks
+    // remain, and those are event-queue driven.
+    return wc_words_.empty() ? kNeverCycle : now + 1;
+  }
+  const MicroOp& op = (*trace_)[cursor_];
+  if (op.kind == OpKind::kTxBegin && op.addr > 0) {
+    // Arrival-gated service request: with every buffer empty the frontend
+    // is provably idle until the request arrives (the WC-timeout flush
+    // needs cursor_ >= size, so it cannot fire inside this window).
+    const Cycle arrive = trace_base_ + op.addr + op.net_fwd;
+    if (arrive > now) return arrive;
+  }
+  return now + 1;
+}
+
 bool Core::finished() const {
   return trace_ != nullptr && cursor_ >= trace_->size() && rob_.empty() &&
          sb_.empty() && nt_pending_.empty() && wc_words_.empty() &&

@@ -16,6 +16,7 @@
 #include "check/events.hpp"
 #include "mem/request.hpp"
 #include "common/config.hpp"
+#include "common/hot.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -31,6 +32,15 @@ class Core {
 
   void bind_trace(const Trace* trace);
   void tick(Cycle now);
+
+  /// Earliest cycle > now at which this core's tick could stop being a
+  /// no-op, assuming no external input arrives first (quiescence contract,
+  /// docs/ARCHITECTURE.md "Clock advance & quiescence"). Any buffered work
+  /// — ROB, store buffer, pending WC flushes — pins the core to now + 1
+  /// (per-cycle stall counters must keep ticking); an arrival-gated
+  /// service request reports its arrival cycle; kNeverCycle means only
+  /// event-driven acks remain.
+  NTC_HOT Cycle next_event_cycle(Cycle now) const;
 
   /// Trace fully fetched and every buffered effect has left the core.
   bool finished() const;

@@ -121,6 +121,54 @@ int MemoryController::pick(const std::deque<Pending>& q, Cycle now) const {
   return oldest_ready;  // FCFS among bank-ready row misses.
 }
 
+Cycle MemoryController::queue_next_(const std::deque<Pending>& q,
+                                    Cycle now) const {
+  // Mirror of pick(): for each non-conflicted entry, the earliest cycle at
+  // which its bank is ready and its rank constraints clear — valid while
+  // nothing issues, which is exactly the window the cluster may skip.
+  seen_lines_.clear();
+  Cycle next = kNeverCycle;
+  for (const Pending& p : q) {
+    const Addr line = p.req.line_addr;
+    const bool conflicted =
+        std::find(seen_lines_.begin(), seen_lines_.end(), line) !=
+        seen_lines_.end();
+    if (conflicted) continue;
+    // ntclint-suppress(hot-alloc): capacity reserved at construction
+    seen_lines_.push_back(line);
+    const Bank& bank = banks_[p.flat_bank];
+    Cycle t = std::max(now + 1, bank.busy_until());
+    const bool hit = bank.row_hit(p.coord.row);
+    if (cfg_.tfaw > 0 && !hit) {
+      t = std::max(t, acts_[p.coord.rank][0] + cfg_.tfaw);
+    }
+    if (cfg_.twtr > 0 && p.req.op == MemOp::kRead) {
+      t = std::max(t, last_write_end_[p.coord.rank] + cfg_.twtr);
+    }
+    if (t <= now + 1) return now + 1;
+    next = std::min(next, t);
+  }
+  return next;
+}
+
+Cycle MemoryController::next_event_cycle(Cycle now) const {
+  Cycle next = kNeverCycle;
+  // Refresh fires (blocking the rank, bumping its stat) as soon as its
+  // deadline passes AND every bank of the rank is idle.
+  for (unsigned r = 0; r < next_refresh_.size(); ++r) {
+    Cycle t = std::max(next_refresh_[r], now + 1);
+    for (unsigned b = 0; b < map_.banks_per_rank(); ++b) {
+      t = std::max(t, banks_[r * map_.banks_per_rank() + b].busy_until());
+    }
+    next = std::min(next, t);
+  }
+  if (next <= now + 1) return now + 1;
+  next = std::min(next, queue_next_(read_q_, now));
+  if (next <= now + 1) return now + 1;
+  next = std::min(next, queue_next_(write_q_, now));
+  return next <= now + 1 ? now + 1 : next;
+}
+
 void MemoryController::maybe_refresh_(Cycle now) {
   for (unsigned r = 0; r < next_refresh_.size(); ++r) {
     if (now < next_refresh_[r]) continue;

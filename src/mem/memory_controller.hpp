@@ -18,6 +18,7 @@
 
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/hot.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "mem/address_map.hpp"
@@ -55,6 +56,13 @@ class MemoryController {
   /// Advance one memory-channel cycle: pick at most one request to issue.
   void tick(Cycle now);
 
+  /// Earliest cycle > now at which tick() could do work (quiescence
+  /// contract): the earliest schedulable queue entry under the frozen
+  /// bank/rank timing state, or the earliest rank refresh with its banks
+  /// idle. kNeverCycle when the queues are empty and refresh is disabled
+  /// (in-flight completions are event-driven).
+  NTC_HOT Cycle next_event_cycle(Cycle now) const;
+
   /// Per-rank refresh bookkeeping (no-op when refresh is disabled).
   void maybe_refresh_(Cycle now);
 
@@ -77,6 +85,9 @@ class MemoryController {
   /// Index into the given queue of the next schedulable request under
   /// FR-FCFS with same-address ordering, or -1 if none is issuable now.
   int pick(const std::deque<Pending>& q, Cycle now) const;
+  /// Earliest cycle > now at which some entry of `q` becomes schedulable,
+  /// assuming no state change before then (mirrors pick()'s constraints).
+  NTC_HOT Cycle queue_next_(const std::deque<Pending>& q, Cycle now) const;
   bool rank_constrained_(unsigned rank, bool is_read, bool opens_row,
                          Cycle now) const;
   void issue(Pending p, Cycle now);

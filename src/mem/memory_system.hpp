@@ -4,6 +4,7 @@
 // state crash recovery is checked against) and acknowledged upstream.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "check/events.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/hot.hpp"
 #include "common/stats.hpp"
 #include "mem/memory_controller.hpp"
 #include "mem/request.hpp"
@@ -45,6 +47,17 @@ class MemorySystem {
   }
 
   void tick(Cycle now);
+
+  /// Min over every channel's next_event_cycle (quiescence contract).
+  NTC_HOT Cycle next_event_cycle(Cycle now) const {
+    Cycle next = dram_.next_event_cycle(now);
+    if (next <= now + 1) return next;
+    for (const auto& ch : nvm_channels_) {
+      next = std::min(next, ch->next_event_cycle(now));
+      if (next <= now + 1) break;
+    }
+    return next;
+  }
 
   void set_nvm_observer(NvmWriteObserver* obs) { observer_ = obs; }
   /// Persistence-order checker tap (null = off; see check/events.hpp).

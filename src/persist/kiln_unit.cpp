@@ -66,7 +66,12 @@ void KilnUnit::begin_commit(Cycle now, CoreId core, TxId tx) {
     sink_->on_event(ce);
   }
 
-  events_->schedule_at(now + duration, [this, core, tx] {
+  // clean_q_ age stamps carry the cycle the flush lands, computed here so
+  // the callback needs no live clock: the event drains before the tick of
+  // its cycle, i.e. when the last ticked cycle was now + duration - 1 (or
+  // `now` itself for a zero-length commit, which fires at the next drain).
+  const Cycle stamp = now + (duration > 0 ? duration - 1 : 0);
+  events_->schedule_at(now + duration, [this, core, tx, stamp] {
     PerCore& sc = state_[core];
     bool skip = false;
     for (Addr line : sc.committing_lines) {
@@ -85,7 +90,7 @@ void KilnUnit::begin_commit(Cycle now, CoreId core, TxId tx) {
         // pinned. A clean already in flight for the line covers this
         // commit too (NV-LLC coalescing across transactions).
         if (clean_pending_.insert(line).second) {
-          clean_q_.emplace_back(line, now_);
+          clean_q_.emplace_back(line, stamp);
         }
       }
     }
@@ -113,7 +118,6 @@ bool KilnUnit::commit_done(CoreId core) const {
 }
 
 void KilnUnit::tick(Cycle now, mem::MemorySystem& mem) {
-  now_ = now;
   if (clean_q_.empty()) return;
   // Lazy policy: hold clean-backs briefly so repeated commits of the same
   // line coalesce (clean_pending_ dedup), unless the backlog grows or the
@@ -137,6 +141,20 @@ void KilnUnit::tick(Cycle now, mem::MemorySystem& mem) {
   NTC_ASSERT(ok, "NVM write queue checked before Kiln clean-back");
   stat_cleans_->inc();
   clean_q_.pop_front();
+}
+
+Cycle KilnUnit::next_event_cycle(Cycle now) const {
+  if (clean_q_.empty()) return kNeverCycle;  // commit flushes are events
+  // Clean-eligible (batch reached or the oldest entry aged out): tick()
+  // issues — or retries a full NVM write queue, in which case the memory
+  // controller is busy and pins the clock itself.
+  if (clean_q_.size() >= cfg_.clean_batch ||
+      now >= clean_q_.front().second + cfg_.clean_max_age) {
+    return now + 1;
+  }
+  // Backlogged but young: nothing happens until the oldest entry ages out
+  // (or a commit flush — an event — grows the backlog first).
+  return clean_q_.front().second + cfg_.clean_max_age;
 }
 
 TxId KilnUnit::pin_query(CoreId core, Addr line_addr) const {

@@ -14,6 +14,7 @@
 #include "cache/hierarchy.hpp"
 #include "check/events.hpp"
 #include "common/event_queue.hpp"
+#include "common/hot.hpp"
 #include "mem/memory_system.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
@@ -51,6 +52,12 @@ class KilnUnit final : public core::CommitEngine {
   /// per cycle; same-line commits racing an in-flight clean coalesce.
   void tick(Cycle now, mem::MemorySystem& mem);
 
+  /// Earliest cycle > now at which tick() could do work (quiescence
+  /// contract): now + 1 when a clean-back is eligible, the oldest queued
+  /// entry's age-out cycle when the backlog is young, kNeverCycle when the
+  /// queue is empty (commit flushes arrive through the event queue).
+  NTC_HOT Cycle next_event_cycle(Cycle now) const;
+
   /// Hierarchy hook: should a freshly filled persistent LLC line be pinned?
   TxId pin_query(CoreId core, Addr line_addr) const;
 
@@ -85,7 +92,6 @@ class KilnUnit final : public core::CommitEngine {
   std::vector<PerCore> state_;
   std::deque<std::pair<Addr, Cycle>> clean_q_;  ///< (line, enqueue cycle)
   std::unordered_set<Addr> clean_pending_;
-  Cycle now_ = 0;
 
   CounterHandle stat_commits_;
   CounterHandle stat_flushed_lines_;

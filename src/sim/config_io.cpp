@@ -151,6 +151,21 @@ const std::map<std::string, Key>& registry() {
         },
         [](const SystemConfig& c) { return std::to_string(c.topo.msg_bytes); }};
 
+    auto skip_bool = [](bool SkipConfig::* field) {
+      return Key{
+          [field](SystemConfig& c, const std::string& v) {
+            if (v != "0" && v != "1") return false;
+            c.skip.*field = v == "1";
+            return true;
+          },
+          [field](const SystemConfig& c) {
+            return std::string(c.skip.*field ? "1" : "0");
+          },
+          [] { return std::string("0 or 1"); }};
+    };
+    k["skip.enabled"] = skip_bool(&SkipConfig::enabled);
+    k["skip.verify"] = skip_bool(&SkipConfig::verify);
+
     auto cache_keys = [&k](const std::string& prefix,
                            CacheConfig SystemConfig::* level) {
       k[prefix + ".size_kb"] =

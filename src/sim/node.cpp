@@ -1,5 +1,6 @@
 #include "sim/node.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -176,6 +177,29 @@ void Node::tick(Cycle now) {
     NTC_PROF_SCOPE("step.memory");
     mem_->tick(now);
   }
+}
+
+Cycle Node::next_event_cycle(Cycle now) const {
+  // Same component set tick() visits; a finished core is a permanent no-op
+  // (tick() skips it). Early-out: once any component pins now + 1 the node
+  // cannot jump, so the remaining queries are skipped.
+  Cycle next = kNeverCycle;
+  for (const auto& c : cores_) {
+    if (c->finished()) continue;
+    next = std::min(next, c->next_event_cycle(now));
+    if (next <= now + 1) return next;
+  }
+  for (const auto& n : ntcs_) {
+    next = std::min(next, n->next_event_cycle(now));
+    if (next <= now + 1) return next;
+  }
+  if (kiln_ != nullptr) {
+    next = std::min(next, kiln_->next_event_cycle(now));
+    if (next <= now + 1) return next;
+  }
+  next = std::min(next, hier_->next_event_cycle(now));
+  if (next <= now + 1) return next;
+  return std::min(next, mem_->next_event_cycle(now));
 }
 
 bool Node::drained() const {

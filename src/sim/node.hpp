@@ -12,6 +12,7 @@
 #include "check/persist_order_checker.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/hot.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "core/core.hpp"
@@ -82,6 +83,12 @@ class Node {
   /// NTC drains, flushes) reached memory. The shared event queue is the
   /// Cluster's to check.
   bool drained() const;
+
+  /// Earliest cycle > now at which any component of this node could do
+  /// work (min over the per-component quiescence contracts). The Cluster
+  /// min-reduces this across nodes and the shared event queue to pick its
+  /// jump target; see docs/ARCHITECTURE.md "Clock advance & quiescence".
+  NTC_HOT Cycle next_event_cycle(Cycle now) const;
 
   /// Metrics over `cycles` elapsed since the last reset_stats() (the
   /// Cluster tracks the epoch; cycles are global).

@@ -55,11 +55,34 @@ std::vector<Profiler::CellTime> Profiler::cells() {
   return r.cells;
 }
 
+namespace {
+// Relaxed atomics, not registry-mutexed: clusters on sweep worker threads
+// flush once at destruction, and the totals are only read at report time.
+std::atomic<std::uint64_t> g_cycles_skipped{0};
+std::atomic<std::uint64_t> g_ticks_executed{0};
+}  // namespace
+
+void Profiler::add_clock_totals(std::uint64_t cycles_skipped,
+                                std::uint64_t ticks_executed) {
+  g_cycles_skipped.fetch_add(cycles_skipped, std::memory_order_relaxed);
+  g_ticks_executed.fetch_add(ticks_executed, std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::cycles_skipped() {
+  return g_cycles_skipped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::ticks_executed() {
+  return g_ticks_executed.load(std::memory_order_relaxed);
+}
+
 void Profiler::reset_all() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   for (ProfSite* s : r.sites) s->reset();
   r.cells.clear();
+  g_cycles_skipped.store(0, std::memory_order_relaxed);
+  g_ticks_executed.store(0, std::memory_order_relaxed);
 }
 
 ProfileSession::ProfileSession(std::string out_path)
@@ -105,11 +128,22 @@ void write_selfperf_json(std::ostream& os, double wall_seconds) {
       wall_seconds > 0.0 ? static_cast<double>(cells.size()) / wall_seconds
                          : 0.0;
 
+  const std::uint64_t skipped = Profiler::cycles_skipped();
+  const std::uint64_t ticked = Profiler::ticks_executed();
+  const double skip_ratio =
+      skipped + ticked > 0
+          ? static_cast<double>(skipped) /
+                static_cast<double>(skipped + ticked)
+          : 0.0;
+
   os << "{\n";
   os << "  \"wall_seconds\": " << wall_seconds << ",\n";
   os << "  \"cells\": " << cells.size() << ",\n";
   os << "  \"cells_per_sec\": " << cells_per_sec << ",\n";
   os << "  \"cell_seconds_total\": " << cell_sum << ",\n";
+  os << "  \"cycles_skipped\": " << skipped << ",\n";
+  os << "  \"ticks_executed\": " << ticked << ",\n";
+  os << "  \"skip_ratio\": " << skip_ratio << ",\n";
   os << "  \"cell_times\": [";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n") << "    {\"label\": ";

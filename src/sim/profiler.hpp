@@ -83,6 +83,14 @@ class Profiler {
   static void add_cell(const std::string& label, double seconds);
   static std::vector<CellTime> cells();
 
+  /// Quiescence-skip accounting, flushed once per Cluster (destructor) so
+  /// the JSON report can state the skip ratio: cycles the clock jumped
+  /// over vs cycles actually ticked, process-wide.
+  static void add_clock_totals(std::uint64_t cycles_skipped,
+                               std::uint64_t ticks_executed);
+  static std::uint64_t cycles_skipped();
+  static std::uint64_t ticks_executed();
+
   /// Zero every site and drop recorded cell times (session start).
   static void reset_all();
 

@@ -7,12 +7,24 @@ namespace ntcsim::sim {
 std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
   std::vector<TimelineSample> samples;
   std::uint64_t prev_txs = 0;
+  std::uint64_t prev_skipped = sys.cycles_skipped();
+  Cycle prev_cycle = sys.now();
   Histogram prev_hist;
   bool done = false;
   while (!done) {
     done = sys.run_for(interval);
     TimelineSample s;
     s.cycle = sys.now();
+    // The final window can be shorter than `interval` (the run drained),
+    // so the ratio uses the cycles actually elapsed in this window.
+    const Cycle elapsed = s.cycle - prev_cycle;
+    const std::uint64_t skipped = sys.cycles_skipped() - prev_skipped;
+    if (elapsed > 0) {
+      s.window_skip_ratio =
+          static_cast<double>(skipped) / static_cast<double>(elapsed);
+    }
+    prev_cycle = s.cycle;
+    prev_skipped = sys.cycles_skipped();
     const Metrics m = sys.metrics();
     s.committed_txs = m.committed_txs;
     s.nvm_writes = m.nvm_writes;
@@ -43,12 +55,13 @@ std::vector<TimelineSample> run_with_timeline(System& sys, Cycle interval) {
 void write_timeline_csv(std::ostream& os,
                         const std::vector<TimelineSample>& samples) {
   os << "cycle,committed_txs,nvm_writes,nvm_reads,window_tx_per_kilocycle,"
-        "ntc_occupancy,nvm_write_queue,requests,window_req_p99\n";
+        "ntc_occupancy,nvm_write_queue,requests,window_req_p99,"
+        "window_skip_ratio\n";
   for (const TimelineSample& s : samples) {
     os << s.cycle << ',' << s.committed_txs << ',' << s.nvm_writes << ','
        << s.nvm_reads << ',' << s.window_tx_per_kilocycle << ','
        << s.ntc_occupancy << ',' << s.nvm_write_queue << ',' << s.requests
-       << ',' << s.window_req_p99 << '\n';
+       << ',' << s.window_req_p99 << ',' << s.window_skip_ratio << '\n';
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
+#include "common/stat_handle.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "topo/interconnect.hpp"
@@ -38,6 +39,9 @@ class Cluster {
  public:
   explicit Cluster(const SystemConfig& cfg, SystemOptions opts = {},
                    persist::KilnConfig kiln_cfg = {});
+  /// Flushes the skip/tick totals into the self-profiler so `--profile`
+  /// can report the whole-process skip ratio.
+  ~Cluster();
 
   unsigned nodes() const { return static_cast<unsigned>(nodes_.size()); }
   Node& node(NodeId n) { return *nodes_[n]; }
@@ -114,8 +118,24 @@ class Cluster {
   /// Event-queue introspection (cost-regression guards count pushes).
   const EventQueue& events() const { return events_; }
 
+  /// Quiescence-skip accounting since construction (reset_stats() resets
+  /// the `sim.cycles_skipped` / `sim.ticks_executed` StatSet counters, not
+  /// these lifetime totals). Skipped + executed = elapsed cycles; verify
+  /// mode executes every cycle, so it reports 0 skipped.
+  std::uint64_t cycles_skipped() const { return cycles_skipped_; }
+  std::uint64_t ticks_executed() const { return ticks_executed_; }
+
  private:
   void step_();
+  /// Quiescence-aware clock advance: after an executed step, min-reduce
+  /// every node's next_event_cycle() with the earliest event-queue
+  /// delivery and jump now_ there (clamped to `limit`, exclusive of
+  /// nothing — limit itself is a legal landing cycle for run()'s cap
+  /// check). No-op when skipping is off or no cycle can be skipped.
+  void advance_clock_(Cycle limit);
+  /// skip.verify: single-step the claimed-idle window instead of jumping,
+  /// aborting loudly if any supposedly skippable cycle did work.
+  void verify_idle_window_(Cycle target);
 
   SystemConfig cfg_;
   EventQueue events_;
@@ -124,6 +144,11 @@ class Cluster {
   Cycle stats_epoch_ = 0;  ///< Cycle at the last reset_stats().
   bool timed_out_ = false;
   topo::RouteStats route_;
+
+  std::uint64_t cycles_skipped_ = 0;
+  std::uint64_t ticks_executed_ = 0;
+  CounterHandle stat_cycles_skipped_;  ///< sim.cycles_skipped (node 0).
+  CounterHandle stat_ticks_executed_;  ///< sim.ticks_executed (node 0).
 };
 
 }  // namespace ntcsim::sim

@@ -381,6 +381,17 @@ void TxCache::tick(Cycle now) {
   }
 }
 
+Cycle TxCache::next_event_cycle(Cycle now) const {
+  // Committed work still to drain: the issue loop runs (or retries a full
+  // write queue / a shadow write still in flight) every cycle.
+  if (!committed_fifo_.empty() || committed_spills_ > 0) return now + 1;
+  // Overflow fall-back with spillable victims: tick() spills one per cycle.
+  if (overflow_imminent() && !active_fifo_.empty()) return now + 1;
+  // Only acks (and the reaps they unlock) remain; those arrive through the
+  // event queue, which the cluster never jumps past.
+  return kNeverCycle;
+}
+
 bool TxCache::drained() const {
   // Counters track exactly what the old full scans looked for: any ring
   // entry still in COMMITTED state, or any committed spill whose home

@@ -30,6 +30,7 @@
 
 #include "check/events.hpp"
 #include "common/config.hpp"
+#include "common/hot.hpp"
 #include "common/stat_handle.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -61,6 +62,12 @@ class TxCache {
   /// Issue committed entries toward the NVM in FIFO order; run the
   /// overflow fall-back when nearly full. Call once per cycle.
   void tick(Cycle now);
+
+  /// Earliest cycle > now at which tick() could do work, assuming no
+  /// external input (quiescence contract). Committed-but-undrained work or
+  /// an imminent overflow with ACTIVE victims pins now + 1; everything
+  /// else (acks, reaps they trigger) is event-driven — kNeverCycle.
+  NTC_HOT Cycle next_event_cycle(Cycle now) const;
 
   std::size_t occupancy() const { return count_; }
   std::size_t capacity() const { return entries_.size(); }

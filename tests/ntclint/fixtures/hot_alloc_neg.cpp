@@ -22,5 +22,14 @@ struct Queue {
     if (!pending.empty()) pending.back().cycle = now;
   }
 
+  // Hot by name too, but a pure scan over existing state is fine.
+  int next_event_cycle(int now) const {
+    int next = now + 1;
+    for (const Event& e : pending) {
+      if (e.cycle > next) next = e.cycle;
+    }
+    return next;
+  }
+
   std::unique_ptr<Event[]> scratch_;
 };

@@ -1,6 +1,6 @@
 // ntclint fixture: allocation inside a per-cycle function is flagged —
-// by name (tick/step/advance, trailing underscores ignored) and by the
-// NTC_HOT annotation on any other function.
+// by name (tick/step/advance/next_event_cycle, trailing underscores
+// ignored) and by the NTC_HOT annotation on any other function.
 #include <memory>
 #include <vector>
 
@@ -28,5 +28,12 @@ struct Queue {
     auto e = std::make_unique<Event>();
     e->cycle = now;
     pending.emplace_back(*e);
+  }
+
+  // The quiescence query runs after every executed cycle — hot by name.
+  int next_event_cycle(int now) const {
+    std::vector<int> candidates;  // fresh vector per query
+    candidates.push_back(now + 1);
+    return candidates.front();
   }
 };

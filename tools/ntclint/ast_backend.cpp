@@ -96,13 +96,17 @@ const clang::FunctionDecl* enclosing_function(clang::ASTContext& ctx,
   return nullptr;
 }
 
-/// Hot = tick/step/advance (trailing underscores ignored) or any decl in
-/// the chain carrying the NTC_HOT annotate attribute.
+/// Hot = tick/step/advance/next_event_cycle (trailing underscores
+/// ignored) or any decl in the chain carrying the NTC_HOT annotate
+/// attribute.
 bool is_hot_function(const clang::FunctionDecl* fd) {
   if (fd == nullptr) return false;
   std::string name = fd->getNameAsString();
   while (!name.empty() && name.back() == '_') name.pop_back();
-  if (name == "tick" || name == "step" || name == "advance") return true;
+  if (name == "tick" || name == "step" || name == "advance" ||
+      name == "next_event_cycle") {
+    return true;
+  }
   for (const clang::FunctionDecl* d = fd; d != nullptr;
        d = d->getPreviousDecl()) {
     for (const auto* a : d->specific_attrs<clang::AnnotateAttr>()) {

@@ -3,7 +3,8 @@
 // Not a parser: a comment/string-aware token scanner plus a brace-depth
 // context tracker that knows which function a line is in, whether that
 // function is a constructor, and whether it is hot-path (named
-// tick/step/advance or carrying NTC_HOT in its signature). That is
+// tick/step/advance/next_event_cycle or carrying NTC_HOT in its
+// signature). That is
 // enough context to enforce every ntclint rule with good precision on
 // this codebase's house style; the AST backend (ast_backend.cpp) adds
 // type-accurate matching on top when built. Where the two disagree the
@@ -100,7 +101,8 @@ std::string strip_trailing_underscores(std::string s) {
 
 bool hot_name(const std::string& name) {
   const std::string base = strip_trailing_underscores(name);
-  return base == "tick" || base == "step" || base == "advance";
+  return base == "tick" || base == "step" || base == "advance" ||
+         base == "next_event_cycle";
 }
 
 /// Last identifier token ending at (exclusive) position `end`.

@@ -46,10 +46,11 @@ const RuleInfo kRules[] = {
      "guard with `if (sink_ != nullptr)` (or route through a helper "
      "that does) before calling on_event"},
     {RuleId::kHotAlloc, "hot-alloc",
-     "allocation or container growth inside tick/step/advance or an "
-     "NTC_HOT-annotated function",
+     "allocation or container growth inside tick/step/advance/"
+     "next_event_cycle or an NTC_HOT-annotated function",
      "per-cycle allocation dominated the pre-PR-2 profile; the "
-     "tick/step/advance family runs every simulated cycle, so a "
+     "tick/step/advance family runs every simulated cycle and "
+     "next_event_cycle (the quiescence query) after every one, so a "
      "new/make_unique/push_back there is a per-cycle malloc the perf "
      "ratchet will eventually catch — much later and more expensively",
      "preallocate in the constructor (reserve/resize at setup), reuse "

@@ -191,6 +191,8 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       cli.cfg.service.open_loop = false;
     } else if (a == "--uniform") {
       cli.cfg.service.poisson = false;
+    } else if (a == "--no-skip") {
+      cli.cfg.skip.enabled = false;
     } else if (a == "--matrix") {
       cli.matrix = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
